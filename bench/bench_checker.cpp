@@ -1,0 +1,83 @@
+// E6 — cost of the formal machinery.
+//
+// The paper's definitions are declarative; this harness measures what
+// deciding them costs. Order-given serializability is linear in history
+// length (Lemma 3 reduces it to per-object replay); existential
+// serializability enumerates permutations of the committed activities
+// (factorial); dynamic atomicity enumerates the linear extensions of
+// precedes (between linear and factorial, depending on how constraining
+// precedes is). The crossover justifies the runtime protocols: they pay
+// small incremental admission checks instead of whole-history search.
+#include <benchmark/benchmark.h>
+
+#include "check/atomicity.h"
+#include "check/random_history.h"
+#include "hist/wellformed.h"
+
+namespace argus {
+namespace {
+
+History make_history(const SystemSpec& sys, int activities, int ops) {
+  RandomHistoryOptions options;
+  options.activities = activities;
+  options.ops_per_activity = ops;
+  options.abort_percent = 10;
+  options.seed = 12345;
+  return random_atomic_history(sys, options);
+}
+
+void BM_Checker_SerializableInOrder(benchmark::State& state) {
+  SystemSpec sys;
+  sys.add_object(ObjectId{0}, "kv_store");
+  const History h =
+      make_history(sys, static_cast<int>(state.range(0)), 4);
+  const auto order = h.perm().activities();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serializable_in_order(sys, h.perm(), order));
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+}
+
+void BM_Checker_FindOrder(benchmark::State& state) {
+  SystemSpec sys;
+  sys.add_object(ObjectId{0}, "kv_store");
+  const History h =
+      make_history(sys, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_atomic(sys, h).ok);
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+}
+
+void BM_Checker_DynamicAtomic(benchmark::State& state) {
+  SystemSpec sys;
+  sys.add_object(ObjectId{0}, "kv_store");
+  const History h =
+      make_history(sys, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_dynamic_atomic(sys, h).ok);
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+}
+
+void BM_Checker_WellFormed(benchmark::State& state) {
+  SystemSpec sys;
+  sys.add_object(ObjectId{0}, "kv_store");
+  const History h =
+      make_history(sys, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_well_formed(h).ok());
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+}
+
+// Arg: number of activities (the factorial dimension).
+BENCHMARK(BM_Checker_WellFormed)->DenseRange(2, 7);
+BENCHMARK(BM_Checker_SerializableInOrder)->DenseRange(2, 7);
+BENCHMARK(BM_Checker_FindOrder)->DenseRange(2, 7);
+BENCHMARK(BM_Checker_DynamicAtomic)->DenseRange(2, 7);
+
+}  // namespace
+}  // namespace argus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared helpers for the experiment binaries (E1..E7, see EXPERIMENTS.md
+// and DESIGN.md §5 for the paper-claim each reproduces).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "sim/metrics.h"
+
+namespace argus::bench {
+
+/// Publishes the WorkloadResult on the benchmark's counters so the
+/// regenerated "table" carries the quantities the paper's qualitative
+/// claims are about: throughput, abort breakdown, deadlocks.
+inline void report(benchmark::State& state, const WorkloadResult& result) {
+  state.counters["txn_per_s"] = result.throughput();
+  state.counters["committed"] = static_cast<double>(result.committed);
+  state.counters["aborted"] = static_cast<double>(result.aborted);
+  state.counters["abort_rate"] = result.abort_rate();
+  state.counters["deadlocks"] = static_cast<double>(result.deadlocks);
+  state.counters["gave_up"] = static_cast<double>(result.gave_up);
+  auto reason_count = [&](AbortReason reason) {
+    auto it = result.aborts_by_reason.find(reason);
+    return it == result.aborts_by_reason.end() ? 0.0
+                                               : static_cast<double>(it->second);
+  };
+  state.counters["abort_deadlock"] = reason_count(AbortReason::kDeadlock);
+  state.counters["abort_tsorder"] = reason_count(AbortReason::kTimestampOrder);
+  state.counters["abort_timeout"] = reason_count(AbortReason::kWaitTimeout);
+}
+
+/// Adds a label's committed throughput and latency to the counters.
+inline void report_label(benchmark::State& state, const WorkloadResult& result,
+                         const std::string& label) {
+  auto it = result.by_label.find(label);
+  if (it == result.by_label.end()) return;
+  state.counters[label + "_committed"] =
+      static_cast<double>(it->second.committed);
+  state.counters[label + "_aborted"] = static_cast<double>(it->second.aborted);
+  state.counters[label + "_lat_us"] = it->second.latency.mean();
+  state.counters[label + "_p95_us"] = it->second.latency.percentile(0.95);
+}
+
+}  // namespace argus::bench

@@ -1,0 +1,100 @@
+// E10 — the distributed setting (§1: "Maintaining the consistency of
+// long-lived, on-line data is a difficult task, particularly in a
+// distributed system").
+//
+// The same transfer+audit workload as E4, but every account is remote
+// (simulated RPC latency around each operation). The claim under test:
+// protocols that hold synchronization state *across* operations pay the
+// network latency multiplicatively — a dynamic-atomicity audit holds its
+// locks over 2·N one-way delays while scanning N accounts, stalling every
+// conflicting transfer — whereas hybrid read-only activities hold
+// nothing, so their latency is paid only by themselves. Expected shape:
+// the dynamic-vs-hybrid throughput gap *widens* as RPC latency grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "dist/remote_object.h"
+#include "sim/workload.h"
+#include "sched/factory.h"
+#include "spec/adts/bank_account.h"
+
+namespace argus {
+namespace {
+
+constexpr int kAccounts = 8;
+
+void run_distributed(benchmark::State& state, Protocol protocol) {
+  const int rpc_us = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime rt(/*record_history=*/false);
+    std::vector<std::shared_ptr<ManagedObject>> accounts;
+    for (int i = 0; i < kAccounts; ++i) {
+      auto inner = make_object<BankAccountAdt>(rt, protocol,
+                                               "a" + std::to_string(i));
+      NetworkProfile profile;
+      profile.min_delay = std::chrono::microseconds(rpc_us / 2);
+      profile.max_delay = std::chrono::microseconds(rpc_us);
+      profile.seed = static_cast<std::uint64_t>(i) + 1;
+      accounts.push_back(std::make_shared<RemoteObject>(inner, profile));
+    }
+    rt.set_wait_timeout_all(std::chrono::milliseconds(500));
+    {
+      auto setup = rt.begin();
+      for (auto& a : accounts) a->invoke(*setup, account::deposit(1000));
+      rt.commit(setup);
+    }
+
+    MixItem transfer{"transfer", TxnKind::kUpdate, 10,
+                     [accounts](Transaction& txn, SplitMix64& rng) {
+                       const std::size_t from = rng.below(accounts.size());
+                       std::size_t to = rng.below(accounts.size());
+                       if (to == from) to = (to + 1) % accounts.size();
+                       const Value got =
+                           accounts[from]->invoke(txn, account::withdraw(5));
+                       if (got.is_unit()) {
+                         accounts[to]->invoke(txn, account::deposit(5));
+                       }
+                     }};
+    MixItem audit{"audit",
+                  supports_snapshot_reads(protocol) ? TxnKind::kReadOnly
+                                                    : TxnKind::kUpdate,
+                  2,
+                  [accounts](Transaction& txn, SplitMix64&) {
+                    std::int64_t total = 0;
+                    for (const auto& a : accounts) {
+                      total += a->invoke(txn, account::balance()).as_int();
+                    }
+                    (void)total;
+                  }};
+
+    WorkloadOptions options;
+    options.threads = 6;
+    options.transactions_per_thread = 40;
+    options.seed = 31;
+    WorkloadDriver driver(rt, options);
+    const auto result = driver.run({transfer, audit});
+    bench::report(state, result);
+    bench::report_label(state, result, "transfer");
+    bench::report_label(state, result, "audit");
+  }
+}
+
+void BM_Distributed_Dynamic(benchmark::State& state) {
+  run_distributed(state, Protocol::kDynamic);
+}
+void BM_Distributed_Static(benchmark::State& state) {
+  run_distributed(state, Protocol::kStatic);
+}
+void BM_Distributed_Hybrid(benchmark::State& state) {
+  run_distributed(state, Protocol::kHybrid);
+}
+
+// Arg: RPC one-way latency upper bound in microseconds.
+BENCHMARK(BM_Distributed_Dynamic)->Arg(0)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Distributed_Static)->Arg(0)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Distributed_Hybrid)->Arg(0)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace argus
+
+BENCHMARK_MAIN();

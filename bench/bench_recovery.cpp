@@ -1,0 +1,70 @@
+// E7 — recoverability online (§1, §3: atomicity is serializability AND
+// recoverability, treated together).
+//
+// Measures the machinery our runtime pays for the all-or-nothing
+// property: intentions-list commit vs. abort cost as transaction size
+// grows, and full crash-recovery replay time as a function of committed
+// log size. Shape expectations: abort is O(1)-ish (discard intentions);
+// commit is linear in the intentions list; recovery is linear in the
+// stable log.
+#include <benchmark/benchmark.h>
+
+#include "core/runtime.h"
+#include "spec/adts/int_set.h"
+
+namespace argus {
+namespace {
+
+void BM_Recovery_CommitCost(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  Runtime rt(/*record_history=*/false);
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  for (auto _ : state) {
+    auto t = rt.begin();
+    for (int i = 0; i < ops; ++i) {
+      set->invoke(*t, intset::insert(i % 64));
+    }
+    rt.commit(t);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+
+void BM_Recovery_AbortCost(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  Runtime rt(/*record_history=*/false);
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  for (auto _ : state) {
+    auto t = rt.begin();
+    for (int i = 0; i < ops; ++i) {
+      set->invoke(*t, intset::insert(i % 64));
+    }
+    rt.abort(t);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+
+void BM_Recovery_ReplayCost(benchmark::State& state) {
+  const int committed_txns = static_cast<int>(state.range(0));
+  Runtime rt(/*record_history=*/false);
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  for (int i = 0; i < committed_txns; ++i) {
+    auto t = rt.begin();
+    set->invoke(*t, intset::insert(i % 256));
+    rt.commit(t);
+  }
+  for (auto _ : state) {
+    rt.crash();
+    rt.recover();
+  }
+  state.counters["log_records"] =
+      static_cast<double>(rt.tm().log().size());
+}
+
+BENCHMARK(BM_Recovery_CommitCost)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_Recovery_AbortCost)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_Recovery_ReplayCost)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace argus
+
+BENCHMARK_MAIN();

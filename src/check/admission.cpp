@@ -1,0 +1,173 @@
+#include "check/admission.h"
+
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "check/atomicity.h"
+
+namespace argus {
+
+namespace {
+
+/// Single-version storage simulation for one object (the scheduler
+/// model's storage module, Fig 5-1): operations apply in response order
+/// against one current state; recorded results must match what that
+/// state produces. Aborts remove the activity's operations and re-derive
+/// the state (sound under the conflict rules, which is the point).
+class StorageSim {
+ public:
+  explicit StorageSim(const SequentialSpec& spec) : spec_(spec) {
+    candidates_.push_back(spec.initial_state());
+  }
+
+  /// Applies (op -> result); false iff the storage could not have
+  /// produced `result` here.
+  bool respond(ActivityId a, const Operation& op, const Value& result) {
+    std::vector<std::unique_ptr<SpecState>> next;
+    for (const auto& s : candidates_) {
+      for (auto& outcome : s->step(op)) {
+        if (outcome.result == result) next.push_back(std::move(outcome.state));
+      }
+    }
+    if (next.empty()) return false;
+    candidates_ = std::move(next);
+    applied_.push_back(Applied{a, op, result});
+    return true;
+  }
+
+  /// Removes an aborted activity's operations; false iff the remaining
+  /// recorded results are no longer reproducible (so no scheduler-model
+  /// execution matches this history).
+  bool abort(ActivityId a) {
+    std::erase_if(applied_,
+                  [&](const Applied& entry) { return entry.txn == a; });
+    candidates_.clear();
+    candidates_.push_back(spec_.initial_state());
+    for (const Applied& entry : applied_) {
+      std::vector<std::unique_ptr<SpecState>> next;
+      for (const auto& s : candidates_) {
+        for (auto& outcome : s->step(entry.op)) {
+          if (outcome.result == entry.result) {
+            next.push_back(std::move(outcome.state));
+          }
+        }
+      }
+      if (next.empty()) return false;
+      candidates_ = std::move(next);
+    }
+    return true;
+  }
+
+ private:
+  struct Applied {
+    ActivityId txn;
+    Operation op;
+    Value result;
+  };
+
+  const SequentialSpec& spec_;
+  std::vector<std::unique_ptr<SpecState>> candidates_;
+  std::vector<Applied> applied_;
+};
+
+/// Generic scheduler-model protocol simulation. `conflicts(x, p, q)`
+/// decides whether a new operation p at object x conflicts with an
+/// operation q already held by another active activity at x. A history
+/// is admitted iff (a) no invocation ever overlaps a conflicting held
+/// operation, and (b) every recorded result matches single-version
+/// storage executed in response order — both halves of Fig 5-1.
+bool admitted_by_locking(
+    const SystemSpec& system, const History& h,
+    const std::function<bool(ObjectId, const Operation&, const Operation&)>&
+        conflicts) {
+  // (object, activity) -> operations whose locks are held.
+  std::map<std::pair<ObjectId, ActivityId>, std::vector<Operation>> held;
+  std::unordered_set<ActivityId> finished;
+  std::map<ObjectId, StorageSim> storage;
+  std::unordered_map<ActivityId, std::pair<ObjectId, Operation>> pending;
+
+  auto storage_for = [&](ObjectId x) -> StorageSim& {
+    auto it = storage.find(x);
+    if (it == storage.end()) {
+      it = storage.emplace(x, StorageSim(system.spec_of(x))).first;
+    }
+    return it->second;
+  };
+
+  for (const Event& e : h.events()) {
+    switch (e.kind) {
+      case EventKind::kInvoke: {
+        for (const auto& [key, ops] : held) {
+          const auto& [x, holder] = key;
+          if (x != e.object || holder == e.activity ||
+              finished.contains(holder)) {
+            continue;
+          }
+          for (const Operation& q : ops) {
+            if (conflicts(x, e.operation, q)) return false;
+          }
+        }
+        held[{e.object, e.activity}].push_back(e.operation);
+        pending.insert_or_assign(e.activity, std::pair{e.object, e.operation});
+        break;
+      }
+      case EventKind::kRespond: {
+        auto it = pending.find(e.activity);
+        if (it == pending.end()) return false;
+        if (!storage_for(it->second.first)
+                 .respond(e.activity, it->second.second, e.result)) {
+          return false;
+        }
+        pending.erase(it);
+        break;
+      }
+      case EventKind::kCommit:
+        finished.insert(e.activity);
+        break;
+      case EventKind::kAbort:
+        if (!finished.contains(e.activity)) {
+          for (ObjectId x : h.objects()) {
+            auto sit = storage.find(x);
+            if (sit != storage.end() && !sit->second.abort(e.activity)) {
+              return false;
+            }
+          }
+        }
+        finished.insert(e.activity);
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool admitted_by_two_phase_locking(const SystemSpec& system,
+                                   const History& h) {
+  return admitted_by_locking(
+      system, h, [&](ObjectId x, const Operation& p, const Operation& q) {
+        const SequentialSpec& spec = system.spec_of(x);
+        // Read locks are shared; anything else is exclusive.
+        return !(spec.is_read_only(p) && spec.is_read_only(q));
+      });
+}
+
+bool admitted_by_commutativity_locking(const SystemSpec& system,
+                                       const History& h) {
+  return admitted_by_locking(
+      system, h, [&](ObjectId x, const Operation& p, const Operation& q) {
+        return !system.spec_of(x).static_commutes(p, q);
+      });
+}
+
+bool admitted_by_dynamic_atomicity(const SystemSpec& system,
+                                   const History& h) {
+  return check_dynamic_atomic(system, h).ok;
+}
+
+}  // namespace argus

@@ -1,0 +1,39 @@
+// Admission predicates: would a given protocol have permitted this exact
+// interleaving?
+//
+// The paper's §4.1/§5.1 claims are about *sets of histories*: dynamic
+// atomicity (the optimal local property) admits strictly more histories
+// than commutativity locking, which admits more than read/write two-phase
+// locking. These predicates make the inclusion measurable: given a
+// history, each simulates its protocol's blocking rule event by event and
+// reports whether the history could have been produced under it
+// (bench_admission samples random atomic histories and reports the three
+// admission rates).
+#pragma once
+
+#include "check/system.h"
+#include "hist/history.h"
+
+namespace argus {
+
+/// Strict two-phase locking with read/write locks ([Eswaren 76] as cited
+/// in §1): an invocation is admissible iff no *other* active (uncommitted,
+/// unaborted) activity holds a lock on the same object in a conflicting
+/// mode; locks are held until commit/abort. Reads are the operations the
+/// specification marks read-only.
+[[nodiscard]] bool admitted_by_two_phase_locking(const SystemSpec& system,
+                                                 const History& h);
+
+/// Type-specific locking with *state-independent* commutativity conflict
+/// tables ([Schwarz & Spector 82], [Korth 81], [Bernstein 81] — the §5.1
+/// comparators): an invocation is admissible iff it statically commutes
+/// with every operation executed by every other active activity at the
+/// same object.
+[[nodiscard]] bool admitted_by_commutativity_locking(const SystemSpec& system,
+                                                     const History& h);
+
+/// Dynamic atomicity itself — the declarative upper bound (§4.1).
+[[nodiscard]] bool admitted_by_dynamic_atomicity(const SystemSpec& system,
+                                                 const History& h);
+
+}  // namespace argus

@@ -1,0 +1,80 @@
+#include "check/atomicity.h"
+
+#include <sstream>
+
+namespace argus {
+
+namespace {
+
+std::string order_string(const std::vector<ActivityId>& order) {
+  if (order.empty()) return "(empty)";
+  std::string out;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out += "-";
+    out += to_string(order[i]);
+  }
+  return out;
+}
+
+CheckResult timestamp_order_check(const SystemSpec& system, const History& h,
+                                  const char* property) {
+  const History permed = h.perm();
+  const auto committed = permed.activities();
+  for (ActivityId a : committed) {
+    if (!h.timestamp_of(a).has_value()) {
+      return {false, std::string(property) + ": committed activity " +
+                         to_string(a) + " has no timestamp"};
+    }
+  }
+  // Timestamps live on initiate/commit events which perm() preserves for
+  // committed activities, so the order can be read off permed directly.
+  const auto order = permed.timestamp_order();
+  if (serializable_in_order(system, permed, order)) {
+    return {true, std::string(property) + ": perm(h) serializable in " +
+                      "timestamp order " + order_string(order)};
+  }
+  return {false, std::string(property) +
+                     ": perm(h) not serializable in timestamp order " +
+                     order_string(order)};
+}
+
+}  // namespace
+
+CheckResult check_atomic(const SystemSpec& system, const History& h) {
+  const History permed = h.perm();
+  if (auto order = find_serialization_order(system, permed)) {
+    return {true, "atomic: perm(h) serializable in order " +
+                      order_string(*order)};
+  }
+  return {false, "not atomic: perm(h) is not serializable in any order"};
+}
+
+CheckResult check_dynamic_atomic(const SystemSpec& system, const History& h) {
+  const History permed = h.perm();
+  const auto committed = permed.activities();
+  const PrecedesRelation rel = h.precedes().restricted_to(committed);
+  const auto orders = rel.linear_extensions(committed);
+  for (const auto& order : orders) {
+    if (!serializable_in_order(system, permed, order)) {
+      return {false,
+              "not dynamic atomic: perm(h) not serializable in the "
+              "precedes-consistent order " +
+                  order_string(order) + " (precedes = " + rel.to_string() +
+                  ")"};
+    }
+  }
+  std::ostringstream why;
+  why << "dynamic atomic: perm(h) serializable in all " << orders.size()
+      << " order(s) consistent with precedes = " << rel.to_string();
+  return {true, why.str()};
+}
+
+CheckResult check_static_atomic(const SystemSpec& system, const History& h) {
+  return timestamp_order_check(system, h, "static");
+}
+
+CheckResult check_hybrid_atomic(const SystemSpec& system, const History& h) {
+  return timestamp_order_check(system, h, "hybrid");
+}
+
+}  // namespace argus

@@ -1,0 +1,47 @@
+// The four atomicity judgements of the paper, verbatim:
+//
+//   atomic          (§3)     perm(h) is serializable.
+//   dynamic atomic  (§4.1)   perm(h) is serializable in every total order
+//                            consistent with precedes(h).
+//   static atomic   (§4.2.2) perm(h) is serializable in timestamp order
+//                            (timestamps chosen at initiation).
+//   hybrid atomic   (§4.3.2) perm(h) is serializable in timestamp order
+//                            (updates stamped at commit, read-only
+//                            activities at initiation).
+//
+// Each checker returns an explanation suitable for test failure messages
+// and the history_check example — e.g. the serialization order found, or
+// the precedes-consistent order in which perm(h) is not serializable.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "check/serializability.h"
+#include "check/system.h"
+#include "hist/history.h"
+
+namespace argus {
+
+struct CheckResult {
+  bool ok{false};
+  std::string explanation;
+};
+
+[[nodiscard]] CheckResult check_atomic(const SystemSpec& system,
+                                       const History& h);
+
+[[nodiscard]] CheckResult check_dynamic_atomic(const SystemSpec& system,
+                                               const History& h);
+
+/// Requires every committed activity to carry a timestamp (from its
+/// initiation events); fails with an explanation otherwise.
+[[nodiscard]] CheckResult check_static_atomic(const SystemSpec& system,
+                                              const History& h);
+
+/// Hybrid histories stamp updates at commit and read-only activities at
+/// initiation; the judgement itself is serializability in timestamp order.
+[[nodiscard]] CheckResult check_hybrid_atomic(const SystemSpec& system,
+                                              const History& h);
+
+}  // namespace argus

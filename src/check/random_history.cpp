@@ -1,0 +1,170 @@
+#include "check/random_history.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/errors.h"
+#include "spec/spec.h"
+
+namespace argus {
+
+Operation random_operation(const std::string& type_name, SplitMix64& rng) {
+  if (type_name == "int_set") {
+    const std::int64_t n = rng.range(0, 3);
+    switch (rng.below(3)) {
+      case 0:
+        return op("insert", n);
+      case 1:
+        return op("delete", n);
+      default:
+        return op("member", n);
+    }
+  }
+  if (type_name == "counter") {
+    return op("increment");
+  }
+  if (type_name == "bank_account") {
+    switch (rng.below(3)) {
+      case 0:
+        return op("deposit", rng.range(1, 10));
+      case 1:
+        return op("withdraw", rng.range(1, 10));
+      default:
+        return op("balance");
+    }
+  }
+  if (type_name == "fifo_queue") {
+    switch (rng.below(3)) {
+      case 0:
+      case 1:
+        return op("enqueue", rng.range(1, 3));
+      default:
+        return op("dequeue");
+    }
+  }
+  if (type_name == "kv_store") {
+    const std::int64_t k = rng.range(0, 2);
+    switch (rng.below(4)) {
+      case 0:
+        return op("put", k, rng.range(0, 5));
+      case 1:
+        return op("get", k);
+      case 2:
+        return op("remove", k);
+      default:
+        return op("contains", k);
+    }
+  }
+  if (type_name == "bag") {
+    switch (rng.below(3)) {
+      case 0:
+      case 1:
+        return op("insert", rng.range(1, 3));
+      default:
+        return op("remove");
+    }
+  }
+  if (type_name == "rw_register") {
+    if (rng.chance(1, 2)) return op("read");
+    return op("write", rng.range(0, 9));
+  }
+  throw UsageError("no random operation generator for ADT: " + type_name);
+}
+
+History random_atomic_history(const SystemSpec& system,
+                              const RandomHistoryOptions& options) {
+  SplitMix64 rng(options.seed);
+  const std::vector<ObjectId> objects = system.objects();
+  if (objects.empty()) throw UsageError("system has no objects");
+
+  // Choose a random serial order of activities.
+  std::vector<ActivityId> order;
+  order.reserve(static_cast<std::size_t>(options.activities));
+  for (int i = 0; i < options.activities; ++i) {
+    order.push_back(ActivityId{static_cast<std::uint64_t>(i)});
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  // Execute each activity serially against per-object oracle states,
+  // recording its event list. Aborting activities run on forks.
+  std::unordered_map<ObjectId, std::unique_ptr<SpecState>> states;
+  for (ObjectId x : objects) {
+    states[x] = system.spec_of(x).initial_state();
+  }
+
+  std::unordered_map<ActivityId, std::vector<Event>> script;
+  for (ActivityId a : order) {
+    const bool aborts = rng.chance(static_cast<std::uint64_t>(
+                                       options.abort_percent),
+                                   100);
+    std::unordered_map<ObjectId, std::unique_ptr<SpecState>> fork;
+    if (aborts) {
+      for (const auto& [x, s] : states) fork[x] = s->clone();
+    }
+    auto& chain = aborts ? fork : states;
+    std::vector<Event>& events = script[a];
+    std::vector<ObjectId> touched;
+    for (int k = 0; k < options.ops_per_activity; ++k) {
+      const ObjectId x = objects[rng.below(objects.size())];
+      const std::string type = system.spec_of(x).type_name();
+      // Redraw until the operation is enabled (e.g. dequeue needs a
+      // non-empty queue); fall back to skipping after a few tries.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Operation o = random_operation(type, rng);
+        auto outcomes = chain[x]->step(o);
+        if (outcomes.empty()) continue;
+        auto& pick = outcomes[rng.below(outcomes.size())];
+        events.push_back(invoke(x, a, o));
+        events.push_back(respond(x, a, pick.result));
+        chain[x] = std::move(pick.state);
+        if (std::find(touched.begin(), touched.end(), x) == touched.end()) {
+          touched.push_back(x);
+        }
+        break;
+      }
+    }
+    if (touched.empty()) touched.push_back(objects[0]);
+    for (ObjectId x : touched) {
+      events.push_back(aborts ? abort(x, a) : commit(x, a));
+    }
+  }
+
+  // Random interleaving preserving each activity's event order. This
+  // keeps the history well-formed: invocations stay before their
+  // responses and commits stay last per activity. contiguity_percent
+  // biases toward staying with the current activity.
+  History h;
+  std::vector<ActivityId> live;
+  std::unordered_map<ActivityId, std::size_t> cursor;
+  for (ActivityId a : order) {
+    if (!script[a].empty()) {
+      live.push_back(a);
+      cursor[a] = 0;
+    }
+  }
+  std::size_t current = 0;
+  while (!live.empty()) {
+    std::size_t i;
+    if (current < live.size() &&
+        rng.chance(static_cast<std::uint64_t>(options.contiguity_percent),
+                   100)) {
+      i = current;
+    } else {
+      i = rng.below(live.size());
+    }
+    const ActivityId a = live[i];
+    h.append(script[a][cursor[a]++]);
+    if (cursor[a] == script[a].size()) {
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      current = live.empty() ? 0 : rng.below(live.size());
+    } else {
+      current = i;
+    }
+  }
+  return h;
+}
+
+}  // namespace argus

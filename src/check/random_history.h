@@ -1,0 +1,49 @@
+// Random atomic histories.
+//
+// Generator for the admission-rate experiment (E5) and for property tests
+// of the checkers: it produces well-formed histories that are atomic *by
+// construction* (committed activities' results are computed by a real
+// serial execution in a randomly chosen order), then randomly interleaved.
+// Whether a given interleaving is dynamic atomic / admitted by a locking
+// protocol is then a non-trivial property of the interleaving — exactly
+// the gap the paper's §4.1 optimality theorem is about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/system.h"
+#include "common/rng.h"
+#include "hist/history.h"
+
+namespace argus {
+
+struct RandomHistoryOptions {
+  int activities{3};
+  int ops_per_activity{3};
+  /// Each activity independently aborts with this probability (as
+  /// percent, 0..100); aborted activities run against a fork of the state
+  /// so the committed chain stays serially consistent.
+  int abort_percent{0};
+  /// Interleaving intensity: when emitting the next event, the current
+  /// activity is kept with probability contiguity_percent. 0 = uniform
+  /// random interleaving (maximally concurrent); 100 = fully serial. The
+  /// admission-rate experiment sweeps this to show how the protocol gaps
+  /// open as concurrency rises.
+  int contiguity_percent{0};
+  std::uint64_t seed{1};
+};
+
+/// Draws a random operation suitable for the named ADT. Arguments are
+/// drawn from a small domain so that operations collide often enough to
+/// make conflicts interesting. Throws UsageError for unknown ADTs.
+[[nodiscard]] Operation random_operation(const std::string& type_name,
+                                         SplitMix64& rng);
+
+/// Generates a well-formed, atomic-by-construction history over the
+/// objects of `system` (all registered objects are used).
+[[nodiscard]] History random_atomic_history(const SystemSpec& system,
+                                            const RandomHistoryOptions& options);
+
+}  // namespace argus

@@ -1,0 +1,66 @@
+#include "check/serializability.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "spec/serial.h"
+
+namespace argus {
+
+History serialization_of(const History& h,
+                         const std::vector<ActivityId>& order) {
+  History out;
+  std::unordered_set<ActivityId> placed;
+  for (ActivityId a : order) {
+    if (!placed.insert(a).second) continue;
+    out = out.then(h.project_activity(a));
+  }
+  for (ActivityId a : h.activities()) {
+    if (!placed.contains(a)) out = out.then(h.project_activity(a));
+  }
+  return out;
+}
+
+bool serializable_in_order(const SystemSpec& system, const History& h,
+                           const std::vector<ActivityId>& order) {
+  const History serial = serialization_of(h, order);
+  // The candidate is equivalent to h by construction; it remains to check
+  // acceptability: Lemma 3 reduces this to per-object serial replay.
+  for (ObjectId x : serial.objects()) {
+    if (!serial_acceptable(system.spec_of(x), serial.project_object(x))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<ActivityId>> find_serialization_order(
+    const SystemSpec& system, const History& h) {
+  std::vector<ActivityId> order = h.activities();
+  std::sort(order.begin(), order.end());
+  do {
+    if (serializable_in_order(system, h, order)) return order;
+  } while (std::next_permutation(order.begin(), order.end()));
+  return std::nullopt;
+}
+
+bool serializable(const SystemSpec& system, const History& h) {
+  return find_serialization_order(system, h).has_value();
+}
+
+std::vector<std::vector<ActivityId>> all_serialization_orders(
+    const SystemSpec& system, const History& h) {
+  std::vector<std::vector<ActivityId>> out;
+  std::vector<ActivityId> order = h.activities();
+  std::sort(order.begin(), order.end());
+  if (order.empty()) {
+    out.push_back({});
+    return out;
+  }
+  do {
+    if (serializable_in_order(system, h, order)) out.push_back(order);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+}  // namespace argus

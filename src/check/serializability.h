@@ -1,0 +1,46 @@
+// Serializability of histories (§3).
+//
+// A history is *serializable* if it is equivalent to an acceptable serial
+// sequence; *serializable in the order T* if that serial sequence lists
+// the activities in order T. Given T, the candidate serial sequence is
+// determined up to equivalence (concatenate each activity's view in order
+// T), so the order-given check is a linear replay per object; the
+// existential check enumerates permutations of the committed activities
+// and is exponential — fine for paper-scale histories and clearly
+// documented as such (the paper's definitions are declarative, not
+// algorithmic; see bench_checker for measured scaling).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "check/system.h"
+#include "hist/history.h"
+
+namespace argus {
+
+/// The serial sequence equivalent to h with activities in order T:
+/// concatenation of h|a for a in T. Activities of h absent from `order`
+/// are appended in first-appearance order (callers normally pass a
+/// complete order).
+[[nodiscard]] History serialization_of(const History& h,
+                                       const std::vector<ActivityId>& order);
+
+/// True iff h is equivalent to an acceptable serial sequence with the
+/// activities in order T (every activity of h must appear in T).
+[[nodiscard]] bool serializable_in_order(const SystemSpec& system,
+                                         const History& h,
+                                         const std::vector<ActivityId>& order);
+
+/// Searches all activity orders; returns one that works, or nullopt.
+[[nodiscard]] std::optional<std::vector<ActivityId>> find_serialization_order(
+    const SystemSpec& system, const History& h);
+
+[[nodiscard]] bool serializable(const SystemSpec& system, const History& h);
+
+/// All orders in which h is serializable (used by tests that reproduce the
+/// paper's "serializable in the orders a-b-c and a-c-b" statements).
+[[nodiscard]] std::vector<std::vector<ActivityId>> all_serialization_orders(
+    const SystemSpec& system, const History& h);
+
+}  // namespace argus

@@ -1,0 +1,35 @@
+#include "check/system.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "spec/adts/registry.h"
+
+namespace argus {
+
+void SystemSpec::add_object(ObjectId x,
+                            std::shared_ptr<const SequentialSpec> spec) {
+  specs_[x] = std::move(spec);
+}
+
+void SystemSpec::add_object(ObjectId x, const std::string& type_name) {
+  specs_[x] = make_spec(type_name);
+}
+
+const SequentialSpec& SystemSpec::spec_of(ObjectId x) const {
+  auto it = specs_.find(x);
+  if (it == specs_.end()) {
+    throw UsageError("no specification registered for object " + to_string(x));
+  }
+  return *it->second;
+}
+
+std::vector<ObjectId> SystemSpec::objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(specs_.size());
+  for (const auto& [x, spec] : specs_) out.push_back(x);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace argus

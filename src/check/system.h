@@ -1,0 +1,39 @@
+// SystemSpec: the specification side of a system (§2) — a mapping from
+// object ids to sequential specifications. Together with a history it is
+// everything the checkers need: "the possible computations of the system
+// are determined by the specifications of the components".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "spec/spec.h"
+
+namespace argus {
+
+class SystemSpec {
+ public:
+  SystemSpec() = default;
+
+  /// Registers an object with its specification; replaces any previous
+  /// registration of the same id.
+  void add_object(ObjectId x, std::shared_ptr<const SequentialSpec> spec);
+
+  /// Convenience: registers by ADT name via the registry.
+  void add_object(ObjectId x, const std::string& type_name);
+
+  [[nodiscard]] bool has(ObjectId x) const { return specs_.contains(x); }
+
+  /// Throws UsageError for unregistered objects.
+  [[nodiscard]] const SequentialSpec& spec_of(ObjectId x) const;
+
+  [[nodiscard]] std::vector<ObjectId> objects() const;
+
+ private:
+  std::unordered_map<ObjectId, std::shared_ptr<const SequentialSpec>> specs_;
+};
+
+}  // namespace argus

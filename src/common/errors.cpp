@@ -1,0 +1,29 @@
+#include "common/errors.h"
+
+namespace argus {
+
+std::string to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kUser:
+      return "user";
+    case AbortReason::kDeadlock:
+      return "deadlock";
+    case AbortReason::kTimestampOrder:
+      return "timestamp-order";
+    case AbortReason::kWaitTimeout:
+      return "wait-timeout";
+    case AbortReason::kCrash:
+      return "crash";
+    case AbortReason::kSystem:
+      return "system";
+  }
+  return "unknown";
+}
+
+TransactionAborted::TransactionAborted(ActivityId activity, AbortReason reason)
+    : std::runtime_error("transaction " + to_string(activity) +
+                         " aborted: " + to_string(reason)),
+      activity_(activity),
+      reason_(reason) {}
+
+}  // namespace argus

@@ -1,0 +1,53 @@
+// Error types shared across the runtime protocols.
+//
+// Aborts are part of the model (they are events, not failures of the
+// implementation), but from the point of view of application code running
+// inside a transaction an abort is an exceptional exit: the transaction's
+// stack must unwind past arbitrary user code. We model that with the
+// TransactionAborted exception; the runtime guarantees that once it is
+// thrown the transaction's effects are discarded at every object.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/ids.h"
+
+namespace argus {
+
+/// Why a transaction was aborted. Benchmarks report these per-reason so we
+/// can reproduce the paper's qualitative claims (e.g. "readers never abort
+/// under static atomicity", "long audits are deadlock-prone under
+/// locking").
+enum class AbortReason {
+  kUser,               // application called abort()
+  kDeadlock,           // chosen as deadlock victim
+  kTimestampOrder,     // static atomicity: op would invalidate a later-ts op
+  kWaitTimeout,        // gave up waiting for a lock / version
+  kCrash,              // runtime crash discarded the active transaction
+  kSystem,             // internal shutdown
+};
+
+[[nodiscard]] std::string to_string(AbortReason r);
+
+class TransactionAborted : public std::runtime_error {
+ public:
+  TransactionAborted(ActivityId activity, AbortReason reason);
+
+  [[nodiscard]] ActivityId activity() const { return activity_; }
+  [[nodiscard]] AbortReason reason() const { return reason_; }
+
+ private:
+  ActivityId activity_;
+  AbortReason reason_;
+};
+
+/// Thrown on API misuse (operating on a finished transaction, committing a
+/// transaction that is waiting, unknown object, ...). These indicate bugs
+/// in the caller, not conditions a correct program should handle.
+class UsageError : public std::logic_error {
+ public:
+  explicit UsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace argus

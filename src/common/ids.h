@@ -1,0 +1,56 @@
+// Strong identifier types used throughout the library.
+//
+// The paper's model names two kinds of participants: *activities* (the
+// paper's word for transactions) and *objects*. We use strong typedefs so
+// the two id spaces cannot be confused, and a Timestamp type for the
+// initiation/commit timestamps of the static and hybrid properties.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace argus {
+
+/// Identifies an activity (transaction). Ids are assigned by the runtime
+/// (or chosen by hand when constructing histories in tests) and are unique
+/// within a history.
+struct ActivityId {
+  std::uint64_t value{0};
+
+  friend constexpr auto operator<=>(ActivityId, ActivityId) = default;
+};
+
+/// Identifies an object (an instance of an abstract data type).
+struct ObjectId {
+  std::uint64_t value{0};
+
+  friend constexpr auto operator<=>(ObjectId, ObjectId) = default;
+};
+
+/// Timestamps are drawn from a countable well-ordered set; the paper uses
+/// the natural numbers and so do we. Zero is reserved for "no timestamp".
+using Timestamp = std::uint64_t;
+
+inline constexpr Timestamp kNoTimestamp = 0;
+
+/// Renders "a3"-style names used in the paper's traces (a, b, c, ...).
+std::string to_string(ActivityId id);
+std::string to_string(ObjectId id);
+
+}  // namespace argus
+
+template <>
+struct std::hash<argus::ActivityId> {
+  std::size_t operator()(argus::ActivityId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<argus::ObjectId> {
+  std::size_t operator()(argus::ObjectId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,24 @@
+#include "common/operation.h"
+
+namespace argus {
+
+Operation op(std::string name) { return Operation{std::move(name), {}}; }
+
+Operation op(std::string name, Value a0) {
+  return Operation{std::move(name), {std::move(a0)}};
+}
+
+Operation op(std::string name, Value a0, Value a1) {
+  return Operation{std::move(name), {std::move(a0), std::move(a1)}};
+}
+
+Operation op(std::string name, Value a0, Value a1, Value a2) {
+  return Operation{std::move(name), {std::move(a0), std::move(a1), std::move(a2)}};
+}
+
+std::string to_string(const Operation& o) {
+  if (o.args.empty()) return o.name;
+  return o.name + "(" + to_string(o.args) + ")";
+}
+
+}  // namespace argus

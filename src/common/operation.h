@@ -1,0 +1,37 @@
+// Operation: the invocation half of the paper's events.
+//
+// An operation is a named procedure plus argument values, e.g.
+// insert(3), member(7), withdraw(4), enqueue(1), dequeue. The meaning of
+// an operation is given entirely by the sequential specification of the
+// object it is invoked on (src/spec); the history layer treats operations
+// as uninterpreted symbols.
+#pragma once
+
+#include <compare>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace argus {
+
+struct Operation {
+  std::string name;
+  std::vector<Value> args;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+  friend auto operator<=>(const Operation&, const Operation&) = default;
+};
+
+/// Convenience factory: op("insert", 3), op("dequeue").
+Operation op(std::string name);
+Operation op(std::string name, Value a0);
+Operation op(std::string name, Value a0, Value a1);
+Operation op(std::string name, Value a0, Value a1, Value a2);
+
+/// Renders "insert(3)" / "dequeue" as in the paper.
+std::string to_string(const Operation& o);
+
+}  // namespace argus

@@ -1,0 +1,26 @@
+// Minimal scope guard (run a callable on scope exit), used to keep
+// cleanup paths exception-safe without try/catch boilerplate.
+#pragma once
+
+#include <utility>
+
+namespace argus {
+
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F f) : f_(std::move(f)) {}
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+  ~ScopeGuard() { f_(); }
+
+ private:
+  F f_;
+};
+
+template <typename F>
+[[nodiscard]] ScopeGuard<F> on_scope_exit(F f) {
+  return ScopeGuard<F>(std::move(f));
+}
+
+}  // namespace argus

@@ -1,0 +1,41 @@
+#include "common/value.h"
+
+#include <sstream>
+
+#include "common/ids.h"
+
+namespace argus {
+
+std::string to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(Unit) const { return "ok"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{}, v.rep());
+}
+
+std::string to_string(const std::vector<Value>& vs) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << to_string(vs[i]);
+  }
+  return out.str();
+}
+
+std::string to_string(ActivityId id) {
+  // Small ids print as the paper's activity letters a, b, c, ...; larger
+  // ones fall back to a numbered form.
+  if (id.value < 26) return std::string(1, static_cast<char>('a' + id.value));
+  return "t" + std::to_string(id.value);
+}
+
+std::string to_string(ObjectId id) {
+  // Objects print as x, y, z, then numbered.
+  if (id.value < 3) return std::string(1, static_cast<char>('x' + id.value));
+  return "obj" + std::to_string(id.value);
+}
+
+}  // namespace argus

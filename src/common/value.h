@@ -1,0 +1,71 @@
+// Value: the result/argument domain for operations in the model.
+//
+// The paper writes events like <insert(3),x,a> and <true,x,a>; arguments
+// and results are drawn from an uninterpreted value domain. We use a small
+// closed variant: unit (for "ok"-style results that carry no data),
+// booleans, 64-bit integers and strings. This is enough for every ADT in
+// the paper and keeps histories cheap to copy and compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace argus {
+
+/// Unit type for results that carry no data; prints as "ok" which matches
+/// the paper's <ok,x,a> termination events.
+struct Unit {
+  friend constexpr auto operator<=>(const Unit&, const Unit&) = default;
+};
+
+class Value {
+ public:
+  using Rep = std::variant<Unit, bool, std::int64_t, std::string>;
+
+  Value() : rep_(Unit{}) {}
+  Value(Unit u) : rep_(u) {}                          // NOLINT(runtime/explicit)
+  Value(bool b) : rep_(b) {}                          // NOLINT(runtime/explicit)
+  Value(std::int64_t i) : rep_(i) {}                  // NOLINT(runtime/explicit)
+  Value(int i) : rep_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::string s) : rep_(std::move(s)) {}        // NOLINT(runtime/explicit)
+  Value(const char* s) : rep_(std::string(s)) {}      // NOLINT(runtime/explicit)
+
+  [[nodiscard]] bool is_unit() const { return std::holds_alternative<Unit>(rep_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(rep_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(rep_);
+  }
+
+  /// Accessors throw std::bad_variant_access on kind mismatch; use the
+  /// is_* predicates first when the kind is not statically known.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(rep_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(rep_);
+  }
+
+  [[nodiscard]] const Rep& rep() const { return rep_; }
+
+  friend bool operator==(const Value&, const Value&) = default;
+  friend auto operator<=>(const Value& a, const Value& b) {
+    return a.rep_ <=> b.rep_;
+  }
+
+ private:
+  Rep rep_;
+};
+
+/// Canonical "ok" result used by mutators that return nothing.
+inline Value ok() { return Value{Unit{}}; }
+
+/// Renders a value the way the paper prints it: ok, true, false, 3, "s".
+std::string to_string(const Value& v);
+
+std::string to_string(const std::vector<Value>& vs);
+
+}  // namespace argus

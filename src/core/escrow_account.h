@@ -1,0 +1,84 @@
+// EscrowAccount: a type-specific dynamic-atomic bank account.
+//
+// The generic DynamicAtomicObject decides admission by brute-force
+// all-orders validation (factorial in concurrent transactions, capped at
+// kMaxExactValidation). For the bank account the same information can be
+// tracked in O(1) with escrow bounds — the style of type-specific
+// implementation the paper's framework licenses ("In many applications
+// … the locking protocols will be more than adequate"; here the
+// opposite: the type's algebra admits a *better* protocol):
+//
+//   low  = committed − Σ pending-successful-withdrawals(others) + own net
+//   high = committed + Σ pending-deposits(others)               + own net
+//
+//   withdraw(n) → ok            admissible iff n ≤ low and no other
+//                               transaction holds an exact balance
+//                               observation (a balance result our state
+//                               change would invalidate);
+//   withdraw(n) → insufficient  admissible iff n > high (fails in every
+//                               serialization; no state change);
+//   deposit(n)                  admissible iff no other transaction holds
+//                               an exact observation (balance or
+//                               insufficient result — a deposit could
+//                               flip either);
+//   balance                     admissible iff no other transaction has
+//                               pending state changes; pins an exact
+//                               observation.
+//
+// Anything not admissible blocks, with the usual deadlock detection.
+// Every admitted result is valid under every subset and ordering of the
+// concurrently active transactions, so histories are dynamic atomic —
+// the property tests check this against the formal definition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/object_base.h"
+#include "spec/adts/bank_account.h"
+#include "txn/stable_log.h"
+
+namespace argus {
+
+class EscrowAccount final : public ObjectBase {
+ public:
+  EscrowAccount(ObjectId oid, std::string name, TransactionManager& tm,
+                HistoryRecorder* recorder);
+
+  Value invoke(Transaction& txn, const Operation& op) override;
+  void prepare(Transaction& txn) override;
+  void commit(Transaction& txn, Timestamp commit_ts) override;
+  void abort(Transaction& txn) override;
+  [[nodiscard]] std::vector<LoggedOp> intentions_of(
+      const Transaction& txn) const override;
+  void reset_for_recovery() override;
+  void replay(const ReplayContext& ctx, const LoggedOp& logged) override;
+
+  /// Test hook.
+  [[nodiscard]] std::int64_t committed_balance() const;
+
+ private:
+  struct TxnEntry {
+    std::weak_ptr<Transaction> owner;
+    std::vector<LoggedOp> ops;
+    std::int64_t in{0};   // pending deposits
+    std::int64_t out{0};  // pending successful withdrawals
+    bool balance_exact{false};       // holds a balance result
+    bool insufficient_exact{false};  // holds an insufficient_funds result
+  };
+
+  /// Returns the admitted result, or nullopt to keep waiting. Called
+  /// with mu_ held.
+  std::optional<Value> try_admit(Transaction& txn, const Operation& op);
+
+  std::vector<std::shared_ptr<Transaction>> blockers(ActivityId self);
+
+  std::int64_t committed_{0};                  // guarded by mu_
+  std::map<ActivityId, TxnEntry> intentions_;  // guarded by mu_
+};
+
+}  // namespace argus

@@ -1,0 +1,215 @@
+// Typed application-facing API.
+//
+// ManagedObject::invoke is the protocol-level interface (operations as
+// data); applications want typed methods and scoped transactions. This
+// header provides both:
+//
+//   TransactionScope tx(rt);                       // aborts unless committed
+//   AtomicAccount acct = ...;
+//   acct.deposit(tx, 100);
+//   if (acct.withdraw(tx, 30)) { ... }
+//   tx.commit();
+//
+// Handles are thin: they hold a shared_ptr<ManagedObject> of *any*
+// protocol, so application code is protocol-agnostic — the encapsulation
+// argument of §1 (synchronization and recovery live inside the object,
+// not in the activities).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/runtime.h"
+#include "spec/adts/bag.h"
+#include "spec/adts/bank_account.h"
+#include "spec/adts/counter.h"
+#include "spec/adts/fifo_queue.h"
+#include "spec/adts/int_set.h"
+#include "spec/adts/kv_store.h"
+
+namespace argus {
+
+/// RAII transaction: aborts on scope exit unless commit() was called.
+/// Converts the common try/catch-abort boilerplate into straight-line
+/// code; TransactionAborted still propagates to the caller (after the
+/// destructor has finished the abort), which is the retry point.
+class TransactionScope {
+ public:
+  explicit TransactionScope(Runtime& rt, TxnKind kind = TxnKind::kUpdate)
+      : rt_(rt), txn_(rt.tm().begin(kind)) {}
+
+  TransactionScope(const TransactionScope&) = delete;
+  TransactionScope& operator=(const TransactionScope&) = delete;
+
+  ~TransactionScope() {
+    if (!finished_) rt_.tm().abort(txn_);
+  }
+
+  [[nodiscard]] Transaction& txn() { return *txn_; }
+  [[nodiscard]] const std::shared_ptr<Transaction>& handle() const {
+    return txn_;
+  }
+
+  void commit() {
+    finished_ = true;  // even a failed commit finishes the transaction
+    rt_.tm().commit(txn_);
+  }
+
+  void abort() {
+    finished_ = true;
+    rt_.tm().abort(txn_);
+  }
+
+  [[nodiscard]] bool committed() const {
+    return txn_->state() == TxnState::kCommitted;
+  }
+
+ private:
+  Runtime& rt_;
+  std::shared_ptr<Transaction> txn_;
+  bool finished_{false};
+};
+
+namespace detail {
+
+/// Common plumbing: every typed handle wraps a protocol object.
+class HandleBase {
+ public:
+  explicit HandleBase(std::shared_ptr<ManagedObject> object)
+      : object_(std::move(object)) {}
+
+  [[nodiscard]] const std::shared_ptr<ManagedObject>& object() const {
+    return object_;
+  }
+
+ protected:
+  Value call(TransactionScope& tx, const Operation& o) const {
+    return object_->invoke(tx.txn(), o);
+  }
+  Value call(Transaction& txn, const Operation& o) const {
+    return object_->invoke(txn, o);
+  }
+
+ private:
+  std::shared_ptr<ManagedObject> object_;
+};
+
+}  // namespace detail
+
+class AtomicAccount : public detail::HandleBase {
+ public:
+  using HandleBase::HandleBase;
+
+  template <typename Tx>
+  void deposit(Tx& tx, std::int64_t amount) const {
+    call(tx, account::deposit(amount));
+  }
+  /// True iff the withdrawal succeeded (false: insufficient funds).
+  template <typename Tx>
+  [[nodiscard]] bool withdraw(Tx& tx, std::int64_t amount) const {
+    return call(tx, account::withdraw(amount)).is_unit();
+  }
+  template <typename Tx>
+  [[nodiscard]] std::int64_t balance(Tx& tx) const {
+    return call(tx, account::balance()).as_int();
+  }
+};
+
+class AtomicIntSet : public detail::HandleBase {
+ public:
+  using HandleBase::HandleBase;
+
+  template <typename Tx>
+  void insert(Tx& tx, std::int64_t n) const {
+    call(tx, intset::insert(n));
+  }
+  template <typename Tx>
+  void erase(Tx& tx, std::int64_t n) const {
+    call(tx, intset::del(n));
+  }
+  template <typename Tx>
+  [[nodiscard]] bool contains(Tx& tx, std::int64_t n) const {
+    return call(tx, intset::member(n)).as_bool();
+  }
+};
+
+class AtomicCounter : public detail::HandleBase {
+ public:
+  using HandleBase::HandleBase;
+
+  /// Returns the post-increment value.
+  template <typename Tx>
+  std::int64_t increment(Tx& tx) const {
+    return call(tx, counter::increment()).as_int();
+  }
+};
+
+class AtomicQueue : public detail::HandleBase {
+ public:
+  using HandleBase::HandleBase;
+
+  template <typename Tx>
+  void enqueue(Tx& tx, std::int64_t v) const {
+    call(tx, fifo::enqueue(v));
+  }
+  /// Blocks until an item is available (per the object's protocol).
+  template <typename Tx>
+  [[nodiscard]] std::int64_t dequeue(Tx& tx) const {
+    return call(tx, fifo::dequeue()).as_int();
+  }
+  /// Read-only transactions only on the hybrid queue.
+  template <typename Tx>
+  [[nodiscard]] std::int64_t size(Tx& tx) const {
+    return call(tx, fifo::size()).as_int();
+  }
+};
+
+class AtomicKVStore : public detail::HandleBase {
+ public:
+  using HandleBase::HandleBase;
+
+  template <typename Tx>
+  void put(Tx& tx, std::int64_t key, std::int64_t value) const {
+    call(tx, kv::put(key, value));
+  }
+  template <typename Tx>
+  [[nodiscard]] std::optional<std::int64_t> get(Tx& tx,
+                                                std::int64_t key) const {
+    const Value v = call(tx, kv::get(key));
+    if (v.is_int()) return v.as_int();
+    return std::nullopt;  // "none"
+  }
+  template <typename Tx>
+  void erase(Tx& tx, std::int64_t key) const {
+    call(tx, kv::remove(key));
+  }
+  template <typename Tx>
+  [[nodiscard]] bool contains(Tx& tx, std::int64_t key) const {
+    return call(tx, kv::contains(key)).as_bool();
+  }
+};
+
+class AtomicBag : public detail::HandleBase {
+ public:
+  using HandleBase::HandleBase;
+
+  template <typename Tx>
+  void insert(Tx& tx, std::int64_t v) const {
+    call(tx, bag::insert(v));
+  }
+  /// Removes and returns some element (nondeterministic choice; blocks
+  /// while empty under locking protocols).
+  template <typename Tx>
+  [[nodiscard]] std::int64_t remove_any(Tx& tx) const {
+    return call(tx, bag::remove()).as_int();
+  }
+  template <typename Tx>
+  [[nodiscard]] std::int64_t size(Tx& tx) const {
+    return call(tx, bag::size()).as_int();
+  }
+};
+
+}  // namespace argus

@@ -1,0 +1,45 @@
+#include "core/object_base.h"
+
+#include "common/scope_guard.h"
+
+namespace argus {
+
+void ObjectBase::await(
+    std::unique_lock<std::mutex>& lock, Transaction& txn,
+    const std::function<bool()>& pred,
+    const std::function<std::vector<std::shared_ptr<Transaction>>()>&
+        blockers) {
+  if (pred()) return;
+
+  txn.set_waiting_at(this);
+  const auto cleanup = on_scope_exit([&] {
+    txn.set_waiting_at(nullptr);
+    tm_.detector().clear_wait(txn.id());
+  });
+
+  const auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
+  while (!pred()) {
+    if (txn.doomed()) {
+      throw TransactionAborted(txn.id(), txn.doom_reason());
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      txn.doom(AbortReason::kWaitTimeout);
+      continue;  // next iteration throws
+    }
+
+    const auto holders = blockers();
+    if (!holders.empty()) {
+      if (auto victim =
+              tm_.detector().add_wait(txn.shared_from_this(), holders)) {
+        if (victim->id() == txn.id()) continue;  // we are doomed; loop throws
+        if (ManagedObject* at = victim->waiting_at()) at->wake_all();
+      }
+    }
+
+    // Short bound on each wait round: doom and blocker sets can change
+    // without a notification reaching this condition variable.
+    cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace argus

@@ -1,0 +1,71 @@
+// ObjectBase: shared machinery for runtime atomic objects — the object's
+// monitor (mutex + condition variable), event recording, and a blocking
+// wait primitive integrated with deadlock detection and doom wake-up.
+//
+// All protocol objects follow the same discipline: take the monitor,
+// record the invocation event, await() until the protocol's admission
+// predicate holds (registering waits-for edges while blocked), perform the
+// operation, record the response inside the monitor. Recording inside the
+// critical section guarantees the captured history is a faithful
+// observation: any response that depends on a commit is recorded after
+// that commit event.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "txn/managed_object.h"
+#include "txn/manager.h"
+#include "txn/recorder.h"
+
+namespace argus {
+
+class ObjectBase : public ManagedObject {
+ public:
+  [[nodiscard]] ObjectId id() const override { return id_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void wake_all() override { cv_.notify_all(); }
+
+  /// Maximum time a single invocation may block before the waiter dooms
+  /// itself with AbortReason::kWaitTimeout (liveness backstop).
+  void set_wait_timeout(std::chrono::milliseconds timeout) {
+    wait_timeout_ = timeout;
+  }
+
+ protected:
+  ObjectBase(ObjectId id, std::string name, TransactionManager& tm,
+             HistoryRecorder* recorder)
+      : tm_(tm), recorder_(recorder), id_(id), name_(std::move(name)) {}
+
+  void record(Event e) {
+    if (recorder_ != nullptr) recorder_->record(std::move(e));
+  }
+
+  /// Blocks (releasing `lock`) until pred() holds. While blocked:
+  /// registers waits-for edges against blockers() (re-evaluated each
+  /// round), wakes deadlock victims, and honours txn dooming and the wait
+  /// timeout by throwing TransactionAborted. pred and blockers are called
+  /// with the object mutex held.
+  void await(std::unique_lock<std::mutex>& lock, Transaction& txn,
+             const std::function<bool()>& pred,
+             const std::function<std::vector<std::shared_ptr<Transaction>>()>&
+                 blockers);
+
+  TransactionManager& tm_;
+  HistoryRecorder* recorder_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+ private:
+  const ObjectId id_;
+  const std::string name_;
+  std::chrono::milliseconds wait_timeout_{std::chrono::milliseconds(10000)};
+};
+
+}  // namespace argus

@@ -1,0 +1,76 @@
+#include "core/runtime.h"
+
+#include "common/errors.h"
+
+namespace argus {
+
+Runtime::Runtime(bool record_history) : recording_(record_history) {}
+
+std::shared_ptr<HybridFifoQueue> Runtime::create_hybrid_queue(
+    const std::string& name) {
+  const ObjectId oid = allocate_object_id();
+  auto obj = std::make_shared<HybridFifoQueue>(oid, name, tm_, recorder());
+  objects_[oid] = obj;
+  system_.add_object(oid, std::make_shared<AdtSpec<FifoQueueAdt>>());
+  return obj;
+}
+
+std::shared_ptr<HybridBag> Runtime::create_hybrid_bag(
+    const std::string& name) {
+  const ObjectId oid = allocate_object_id();
+  auto obj = std::make_shared<HybridBag>(oid, name, tm_, recorder());
+  objects_[oid] = obj;
+  system_.add_object(oid, std::make_shared<AdtSpec<BagAdt>>());
+  return obj;
+}
+
+void Runtime::adopt(std::shared_ptr<ManagedObject> object,
+                    std::shared_ptr<const SequentialSpec> spec) {
+  const ObjectId oid = object->id();
+  if (objects_.contains(oid)) {
+    throw UsageError("object id already in use: " + to_string(oid));
+  }
+  system_.add_object(oid, std::move(spec));
+  objects_[oid] = std::move(object);
+}
+
+std::shared_ptr<ManagedObject> Runtime::object(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    throw UsageError("unknown object " + to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<std::shared_ptr<ManagedObject>> Runtime::objects() const {
+  std::vector<std::shared_ptr<ManagedObject>> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) out.push_back(obj);
+  return out;
+}
+
+void Runtime::set_wait_timeout_all(std::chrono::milliseconds timeout) {
+  for (const auto& [id, obj] : objects_) {
+    if (auto base = std::dynamic_pointer_cast<ObjectBase>(obj)) {
+      base->set_wait_timeout(timeout);
+    }
+  }
+}
+
+void Runtime::crash() { tm_.doom_all_active(AbortReason::kCrash); }
+
+void Runtime::recover() {
+  for (const auto& [id, obj] : objects_) obj->reset_for_recovery();
+  for (const CommitLogRecord& record : tm_.log().records()) {
+    const ReplayContext ctx{record.txn, record.commit_ts, record.start_ts};
+    for (const CommitLogRecord::Entry& entry : record.entries) {
+      auto it = objects_.find(entry.object);
+      if (it == objects_.end()) continue;  // object not recreated: skip
+      for (const LoggedOp& logged : entry.ops) {
+        it->second->replay(ctx, logged);
+      }
+    }
+  }
+}
+
+}  // namespace argus

@@ -1,0 +1,123 @@
+// Runtime: owns the transaction manager, the (optional) history recorder,
+// the objects, and the system specification mirror used to check recorded
+// histories against the formal definitions.
+//
+// Typical use:
+//
+//   Runtime rt;
+//   auto acct = rt.create_dynamic<BankAccountAdt>("checking");
+//   auto tx = rt.begin();
+//   acct->invoke(*tx, account::deposit(100));
+//   rt.commit(tx);
+//   auto verdict = check_dynamic_atomic(rt.system(), rt.history());
+//
+// crash()/recover() simulate a whole-node failure: crash dooms every
+// active transaction (their threads unwind with TransactionAborted);
+// after the caller has joined its worker threads, recover() resets every
+// object and replays the stable intentions log, restoring exactly the
+// committed effects.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/system.h"
+#include "core/dynamic_object.h"
+#include "core/hybrid_bag.h"
+#include "core/hybrid_object.h"
+#include "core/hybrid_queue.h"
+#include "core/static_object.h"
+#include "txn/manager.h"
+#include "txn/recorder.h"
+
+namespace argus {
+
+class Runtime {
+ public:
+  /// `record_history` disables event capture when false (benchmarks).
+  explicit Runtime(bool record_history = true);
+
+  [[nodiscard]] TransactionManager& tm() { return tm_; }
+  [[nodiscard]] HistoryRecorder* recorder() {
+    return recording_ ? &recorder_ : nullptr;
+  }
+  [[nodiscard]] const SystemSpec& system() const { return system_; }
+
+  /// The recorded global history so far.
+  [[nodiscard]] History history() const { return recorder_.snapshot(); }
+
+  std::shared_ptr<Transaction> begin() { return tm_.begin(TxnKind::kUpdate); }
+  std::shared_ptr<Transaction> begin_read_only() {
+    return tm_.begin(TxnKind::kReadOnly);
+  }
+  void commit(const std::shared_ptr<Transaction>& t) { tm_.commit(t); }
+  void abort(const std::shared_ptr<Transaction>& t) { tm_.abort(t); }
+
+  template <AdtTraits A>
+  std::shared_ptr<DynamicAtomicObject<A>> create_dynamic(
+      const std::string& name) {
+    return create_impl<DynamicAtomicObject<A>, A>(name);
+  }
+
+  template <AdtTraits A>
+  std::shared_ptr<StaticAtomicObject<A>> create_static(
+      const std::string& name) {
+    return create_impl<StaticAtomicObject<A>, A>(name);
+  }
+
+  template <AdtTraits A>
+  std::shared_ptr<HybridAtomicObject<A>> create_hybrid(
+      const std::string& name) {
+    return create_impl<HybridAtomicObject<A>, A>(name);
+  }
+
+  std::shared_ptr<HybridFifoQueue> create_hybrid_queue(const std::string& name);
+
+  std::shared_ptr<HybridBag> create_hybrid_bag(const std::string& name);
+
+  /// Registers an externally constructed object (used by the
+  /// scheduler-model baselines in src/sched). The ObjectId must have been
+  /// obtained from allocate_object_id().
+  void adopt(std::shared_ptr<ManagedObject> object,
+             std::shared_ptr<const SequentialSpec> spec);
+
+  [[nodiscard]] ObjectId allocate_object_id() {
+    return ObjectId{next_object_id_++};
+  }
+
+  [[nodiscard]] std::shared_ptr<ManagedObject> object(ObjectId id) const;
+  [[nodiscard]] std::vector<std::shared_ptr<ManagedObject>> objects() const;
+
+  /// Sets the blocking-wait timeout on every object created so far
+  /// (benchmarks use short timeouts so pathological waits convert to
+  /// aborts+retries instead of stalling the run).
+  void set_wait_timeout_all(std::chrono::milliseconds timeout);
+
+  /// Node failure: dooms all active transactions. Join your worker
+  /// threads, then call recover().
+  void crash();
+
+  /// Rebuilds every object from the stable intentions log.
+  void recover();
+
+ private:
+  template <typename Obj, AdtTraits A>
+  std::shared_ptr<Obj> create_impl(const std::string& name) {
+    const ObjectId oid = allocate_object_id();
+    auto obj = std::make_shared<Obj>(oid, name, tm_, recorder());
+    objects_[oid] = obj;
+    system_.add_object(oid, std::make_shared<AdtSpec<A>>());
+    return obj;
+  }
+
+  bool recording_;
+  TransactionManager tm_;
+  HistoryRecorder recorder_;
+  SystemSpec system_;
+  std::uint64_t next_object_id_{0};
+  std::unordered_map<ObjectId, std::shared_ptr<ManagedObject>> objects_;
+};
+
+}  // namespace argus

@@ -1,0 +1,83 @@
+#include "dist/remote_object.h"
+
+#include <thread>
+
+#include "common/errors.h"
+
+namespace argus {
+
+RemoteObject::RemoteObject(std::shared_ptr<ManagedObject> inner,
+                           NetworkProfile profile)
+    : inner_(std::move(inner)),
+      profile_(profile),
+      rng_state_(profile.seed * 0x9e3779b97f4a7c15ULL + 1) {}
+
+void RemoteObject::one_way_delay() {
+  // Thread-safe splitmix draw.
+  std::uint64_t z =
+      rng_state_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const auto spread = static_cast<std::uint64_t>(
+      (profile_.max_delay - profile_.min_delay).count());
+  const auto delay =
+      profile_.min_delay +
+      std::chrono::microseconds(spread == 0 ? 0 : z % (spread + 1));
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+void RemoteObject::require_reachable(Transaction& txn) {
+  if (partitioned()) {
+    txn.doom(AbortReason::kWaitTimeout);
+    throw TransactionAborted(txn.id(), AbortReason::kWaitTimeout);
+  }
+}
+
+Value RemoteObject::invoke(Transaction& txn, const Operation& op) {
+  require_reachable(txn);
+  one_way_delay();  // request
+  // Re-check after the request "arrives": the partition may have started
+  // while the message was in flight.
+  require_reachable(txn);
+  const Value result = inner_->invoke(txn, op);
+  one_way_delay();  // response
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void RemoteObject::prepare(Transaction& txn) {
+  require_reachable(txn);
+  one_way_delay();
+  inner_->prepare(txn);
+  one_way_delay();
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RemoteObject::commit(Transaction& txn, Timestamp commit_ts) {
+  // Commit decisions are delivered even across partitions (they are
+  // durable coordinator decisions; a truly lost node replays them from
+  // the log at recovery). The latency is still paid.
+  one_way_delay();
+  inner_->commit(txn, commit_ts);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RemoteObject::abort(Transaction& txn) {
+  one_way_delay();
+  inner_->abort(txn);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LoggedOp> RemoteObject::intentions_of(
+    const Transaction& txn) const {
+  return inner_->intentions_of(txn);
+}
+
+void RemoteObject::reset_for_recovery() { inner_->reset_for_recovery(); }
+
+void RemoteObject::replay(const ReplayContext& ctx, const LoggedOp& logged) {
+  inner_->replay(ctx, logged);
+}
+
+}  // namespace argus

@@ -1,0 +1,95 @@
+// RemoteObject: simulated remote residency for any protocol object.
+//
+// The paper's setting is a distributed system (the Argus project):
+// objects live on other nodes and every operation, prepare and commit
+// crosses the network. We simulate that with a decorator that injects
+// latency around each ManagedObject entry point. The substitution
+// preserves what matters for the paper's comparisons: the *duration for
+// which synchronization state is held* now includes round-trip times, so
+// protocols that hold locks across operations (dynamic/locking) feel
+// network latency very differently from protocols whose read-only
+// activities touch nothing (hybrid) — measured in bench_distributed.
+//
+// A NetworkProfile also supports partitions: while partitioned, calls
+// fail by dooming the calling transaction (kWaitTimeout), modelling an
+// unreachable participant; commit/abort are delivered (they are
+// idempotent decisions from the coordinator's log — recovery replays
+// them if the node was truly lost).
+//
+// Scope note: protocol objects register *themselves* with the
+// transaction on first touch, so the manager's prepare/commit fan-out
+// reaches the inner object directly — the injected latency covers
+// operation RPCs (request + response per invoke), not the commit
+// messages. That is exactly the window in which synchronization state is
+// held, which is what the distributed comparison measures; commit-path
+// latency would be paid equally by every protocol.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "txn/managed_object.h"
+
+namespace argus {
+
+struct NetworkProfile {
+  /// One-way delay bounds (a call pays two one-way delays).
+  std::chrono::microseconds min_delay{50};
+  std::chrono::microseconds max_delay{150};
+  std::uint64_t seed{1};
+};
+
+class RemoteObject final : public ManagedObject {
+ public:
+  RemoteObject(std::shared_ptr<ManagedObject> inner, NetworkProfile profile);
+
+  [[nodiscard]] ObjectId id() const override { return inner_->id(); }
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "@remote";
+  }
+
+  Value invoke(Transaction& txn, const Operation& op) override;
+  void prepare(Transaction& txn) override;
+  void commit(Transaction& txn, Timestamp commit_ts) override;
+  void abort(Transaction& txn) override;
+  [[nodiscard]] std::vector<LoggedOp> intentions_of(
+      const Transaction& txn) const override;
+  void reset_for_recovery() override;
+  void replay(const ReplayContext& ctx, const LoggedOp& logged) override;
+  void wake_all() override { inner_->wake_all(); }
+
+  /// Simulated partition control: while partitioned, invoke/prepare doom
+  /// the calling transaction instead of reaching the object.
+  void set_partitioned(bool partitioned) {
+    partitioned_.store(partitioned, std::memory_order_release);
+  }
+  [[nodiscard]] bool partitioned() const {
+    return partitioned_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const std::shared_ptr<ManagedObject>& inner() const {
+    return inner_;
+  }
+
+  /// Total messages delayed so far (round trips), for metrics.
+  [[nodiscard]] std::uint64_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void one_way_delay();
+  void require_reachable(Transaction& txn);
+
+  std::shared_ptr<ManagedObject> inner_;
+  NetworkProfile profile_;
+  std::atomic<std::uint64_t> rng_state_;
+  std::atomic<bool> partitioned_{false};
+  std::atomic<std::uint64_t> round_trips_{0};
+};
+
+}  // namespace argus

@@ -1,0 +1,94 @@
+#include "hist/event.h"
+
+namespace argus {
+
+std::string to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kInvoke:
+      return "invoke";
+    case EventKind::kRespond:
+      return "respond";
+    case EventKind::kCommit:
+      return "commit";
+    case EventKind::kAbort:
+      return "abort";
+    case EventKind::kInitiate:
+      return "initiate";
+  }
+  return "?";
+}
+
+Event invoke(ObjectId x, ActivityId a, Operation op) {
+  Event e;
+  e.kind = EventKind::kInvoke;
+  e.object = x;
+  e.activity = a;
+  e.operation = std::move(op);
+  return e;
+}
+
+Event respond(ObjectId x, ActivityId a, Value result) {
+  Event e;
+  e.kind = EventKind::kRespond;
+  e.object = x;
+  e.activity = a;
+  e.result = std::move(result);
+  return e;
+}
+
+Event commit(ObjectId x, ActivityId a) {
+  Event e;
+  e.kind = EventKind::kCommit;
+  e.object = x;
+  e.activity = a;
+  return e;
+}
+
+Event commit_at(ObjectId x, ActivityId a, Timestamp t) {
+  Event e = commit(x, a);
+  e.timestamp = t;
+  return e;
+}
+
+Event abort(ObjectId x, ActivityId a) {
+  Event e;
+  e.kind = EventKind::kAbort;
+  e.object = x;
+  e.activity = a;
+  return e;
+}
+
+Event initiate(ObjectId x, ActivityId a, Timestamp t) {
+  Event e;
+  e.kind = EventKind::kInitiate;
+  e.object = x;
+  e.activity = a;
+  e.timestamp = t;
+  return e;
+}
+
+std::string to_string(const Event& e) {
+  std::string body;
+  switch (e.kind) {
+    case EventKind::kInvoke:
+      body = to_string(e.operation);
+      break;
+    case EventKind::kRespond:
+      body = to_string(e.result);
+      break;
+    case EventKind::kCommit:
+      body = e.has_timestamp() ? "commit(" + std::to_string(e.timestamp) + ")"
+                               : "commit";
+      break;
+    case EventKind::kAbort:
+      body = "abort";
+      break;
+    case EventKind::kInitiate:
+      body = "initiate(" + std::to_string(e.timestamp) + ")";
+      break;
+  }
+  return "<" + body + "," + to_string(e.object) + "," + to_string(e.activity) +
+         ">";
+}
+
+}  // namespace argus

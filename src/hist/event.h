@@ -1,0 +1,57 @@
+// Events: the alphabet of the paper's computation model (§2, §4.2.1,
+// §4.3.1).
+//
+// A computation is a finite sequence of events. The base alphabet (§2) has
+// four kinds: the invocation of an operation on an object by an activity,
+// the termination (response) of an invocation, and the commit or abort of
+// an activity at an object. The timestamped properties extend the
+// alphabet: static atomicity adds initiation events <initiate(t),x,a>
+// (§4.2.1); hybrid atomicity uses initiation events for read-only
+// activities and timestamped commit events <commit(t),x,a> for updates
+// (§4.3.1).
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+#include "common/operation.h"
+#include "common/value.h"
+
+namespace argus {
+
+enum class EventKind {
+  kInvoke,    // <op(args),x,a>
+  kRespond,   // <result,x,a> — termination of a's pending invocation at x
+  kCommit,    // <commit,x,a> or <commit(t),x,a>
+  kAbort,     // <abort,x,a>
+  kInitiate,  // <initiate(t),x,a>
+};
+
+[[nodiscard]] std::string to_string(EventKind k);
+
+struct Event {
+  EventKind kind{EventKind::kInvoke};
+  ObjectId object;
+  ActivityId activity;
+  Operation operation;                 // meaningful for kInvoke only
+  Value result;                        // meaningful for kRespond only
+  Timestamp timestamp{kNoTimestamp};   // kInitiate always; kCommit for hybrid updates
+
+  [[nodiscard]] bool has_timestamp() const { return timestamp != kNoTimestamp; }
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Factories matching the paper's notation.
+Event invoke(ObjectId x, ActivityId a, Operation op);
+Event respond(ObjectId x, ActivityId a, Value result);
+Event commit(ObjectId x, ActivityId a);
+/// Hybrid-atomicity commit with a commit-time timestamp: <commit(t),x,a>.
+Event commit_at(ObjectId x, ActivityId a, Timestamp t);
+Event abort(ObjectId x, ActivityId a);
+Event initiate(ObjectId x, ActivityId a, Timestamp t);
+
+/// Renders the paper's "<insert(3),x,a>" notation.
+[[nodiscard]] std::string to_string(const Event& e);
+
+}  // namespace argus

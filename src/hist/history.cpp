@@ -1,0 +1,160 @@
+#include "hist/history.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace argus {
+
+History History::project_object(ObjectId x) const {
+  History out;
+  for (const Event& e : events_) {
+    if (e.object == x) out.append(e);
+  }
+  return out;
+}
+
+History History::project_activity(ActivityId a) const {
+  History out;
+  for (const Event& e : events_) {
+    if (e.activity == a) out.append(e);
+  }
+  return out;
+}
+
+History History::perm() const {
+  const auto keep = committed();
+  History out;
+  for (const Event& e : events_) {
+    if (keep.contains(e.activity)) out.append(e);
+  }
+  return out;
+}
+
+History History::updates(
+    const std::unordered_set<ActivityId>& read_only) const {
+  History out;
+  for (const Event& e : events_) {
+    if (!read_only.contains(e.activity)) out.append(e);
+  }
+  return out;
+}
+
+std::vector<ActivityId> History::activities() const {
+  std::vector<ActivityId> out;
+  std::unordered_set<ActivityId> seen;
+  for (const Event& e : events_) {
+    if (seen.insert(e.activity).second) out.push_back(e.activity);
+  }
+  return out;
+}
+
+std::vector<ObjectId> History::objects() const {
+  std::vector<ObjectId> out;
+  std::unordered_set<ObjectId> seen;
+  for (const Event& e : events_) {
+    if (seen.insert(e.object).second) out.push_back(e.object);
+  }
+  return out;
+}
+
+std::unordered_set<ActivityId> History::committed() const {
+  std::unordered_set<ActivityId> out;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kCommit) out.insert(e.activity);
+  }
+  return out;
+}
+
+std::unordered_set<ActivityId> History::aborted() const {
+  std::unordered_set<ActivityId> out;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kAbort) out.insert(e.activity);
+  }
+  return out;
+}
+
+std::unordered_set<ActivityId> History::initiated() const {
+  std::unordered_set<ActivityId> out;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kInitiate) out.insert(e.activity);
+  }
+  return out;
+}
+
+PrecedesRelation History::precedes() const {
+  // <a,b> ∈ precedes(h) iff an invocation by b terminates (responds) after
+  // a commits. We scan once, maintaining the set of already-committed
+  // activities; every later response adds pairs from each of them.
+  PrecedesRelation rel;
+  std::unordered_set<ActivityId> committed_so_far;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kRespond) {
+      for (ActivityId a : committed_so_far) rel.add(a, e.activity);
+    } else if (e.kind == EventKind::kCommit) {
+      committed_so_far.insert(e.activity);
+    }
+  }
+  return rel;
+}
+
+bool History::equivalent(const History& other) const {
+  auto mine = activities();
+  auto theirs = other.activities();
+  std::unordered_set<ActivityId> mine_set(mine.begin(), mine.end());
+  std::unordered_set<ActivityId> theirs_set(theirs.begin(), theirs.end());
+  if (mine_set != theirs_set) return false;
+  return std::all_of(mine.begin(), mine.end(), [&](ActivityId a) {
+    return project_activity(a) == other.project_activity(a);
+  });
+}
+
+bool History::is_serial() const {
+  std::unordered_set<ActivityId> finished;
+  std::optional<ActivityId> current;
+  for (const Event& e : events_) {
+    if (current && e.activity == *current) continue;
+    if (finished.contains(e.activity)) return false;  // activity resumed
+    if (current) finished.insert(*current);
+    current = e.activity;
+  }
+  return true;
+}
+
+std::optional<std::vector<ActivityId>> History::serial_order() const {
+  if (!is_serial()) return std::nullopt;
+  return activities();
+}
+
+std::optional<Timestamp> History::timestamp_of(ActivityId a) const {
+  for (const Event& e : events_) {
+    if (e.activity == a && e.has_timestamp()) return e.timestamp;
+  }
+  return std::nullopt;
+}
+
+std::vector<ActivityId> History::timestamp_order() const {
+  std::vector<std::pair<Timestamp, ActivityId>> stamped;
+  for (ActivityId a : activities()) {
+    if (auto t = timestamp_of(a)) stamped.emplace_back(*t, a);
+  }
+  std::sort(stamped.begin(), stamped.end());
+  std::vector<ActivityId> out;
+  out.reserve(stamped.size());
+  for (const auto& [t, a] : stamped) out.push_back(a);
+  return out;
+}
+
+History History::then(const History& suffix) const {
+  History out = *this;
+  for (const Event& e : suffix.events()) out.append(e);
+  return out;
+}
+
+std::string History::to_string() const {
+  std::ostringstream out;
+  for (const Event& e : events_) out << argus::to_string(e) << "\n";
+  return out.str();
+}
+
+}  // namespace argus

@@ -1,0 +1,95 @@
+// History: a finite sequence of events (the paper's computations, §2) with
+// the derived notions used throughout: projections h|x and h|a, the
+// committed projection perm(h) (§3), the update projection updates(h)
+// (§4.3.2), the precedes(h) relation (§4.1), equivalence, serial
+// sequences, and timestamp extraction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "hist/event.h"
+#include "hist/precedes.h"
+
+namespace argus {
+
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<Event> events) : events_(std::move(events)) {}
+
+  void append(Event e) { events_.push_back(std::move(e)); }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const Event& at(std::size_t i) const { return events_.at(i); }
+
+  /// h|x — the subsequence of events in which object x participates.
+  [[nodiscard]] History project_object(ObjectId x) const;
+
+  /// h|a — the subsequence of events in which activity a participates.
+  [[nodiscard]] History project_activity(ActivityId a) const;
+
+  /// perm(h) — all events of activities that commit in h, and no others
+  /// (§3). An activity "commits in h" if h contains a commit event for it
+  /// at some object.
+  [[nodiscard]] History perm() const;
+
+  /// updates(h) — all events of update activities (§4.3.2); the read-only
+  /// partition is supplied by the caller.
+  [[nodiscard]] History updates(
+      const std::unordered_set<ActivityId>& read_only) const;
+
+  /// Activities in order of first appearance.
+  [[nodiscard]] std::vector<ActivityId> activities() const;
+
+  /// Objects in order of first appearance.
+  [[nodiscard]] std::vector<ObjectId> objects() const;
+
+  [[nodiscard]] std::unordered_set<ActivityId> committed() const;
+  [[nodiscard]] std::unordered_set<ActivityId> aborted() const;
+
+  /// Activities that initiate somewhere in h (used to identify read-only
+  /// activities in hybrid histories, where only read-only activities carry
+  /// initiation events).
+  [[nodiscard]] std::unordered_set<ActivityId> initiated() const;
+
+  /// precedes(h): <a,b> iff some invocation by b terminates after a's
+  /// (first) commit (§4.1).
+  [[nodiscard]] PrecedesRelation precedes() const;
+
+  /// Equivalence (§3): every activity has the same view, h|a == k|a for
+  /// all a, and the two histories involve the same activities.
+  [[nodiscard]] bool equivalent(const History& other) const;
+
+  /// A sequence is serial if events for different activities are not
+  /// interleaved (§3).
+  [[nodiscard]] bool is_serial() const;
+
+  /// The order of activities if serial; nullopt otherwise.
+  [[nodiscard]] std::optional<std::vector<ActivityId>> serial_order() const;
+
+  /// The timestamp of an activity, taken from its initiation events or its
+  /// timestamped commit events; nullopt if it has neither. (Well-formed
+  /// timestamped histories give each activity a single timestamp.)
+  [[nodiscard]] std::optional<Timestamp> timestamp_of(ActivityId a) const;
+
+  /// Activities that have timestamps, sorted by timestamp ascending.
+  [[nodiscard]] std::vector<ActivityId> timestamp_order() const;
+
+  /// Concatenation (used by checkers to build candidate serial sequences).
+  [[nodiscard]] History then(const History& suffix) const;
+
+  /// One event per line, in the paper's notation.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const History&, const History&) = default;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace argus

@@ -1,0 +1,125 @@
+#include "hist/precedes.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/value.h"
+
+namespace argus {
+
+void PrecedesRelation::add(ActivityId a, ActivityId b) {
+  if (a == b) return;  // precedes is irreflexive by construction
+  pairs_.insert({a, b});
+}
+
+bool PrecedesRelation::contains(ActivityId a, ActivityId b) const {
+  return pairs_.contains({a, b});
+}
+
+bool PrecedesRelation::consistent_with(
+    const std::vector<ActivityId>& order) const {
+  std::unordered_map<ActivityId, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& [a, b] : pairs_) {
+    auto ia = pos.find(a);
+    auto ib = pos.find(b);
+    if (ia == pos.end() || ib == pos.end()) continue;
+    if (ia->second >= ib->second) return false;
+  }
+  return true;
+}
+
+PrecedesRelation PrecedesRelation::restricted_to(
+    const std::vector<ActivityId>& keep) const {
+  std::unordered_set<ActivityId> keep_set(keep.begin(), keep.end());
+  PrecedesRelation out;
+  for (const auto& [a, b] : pairs_) {
+    if (keep_set.contains(a) && keep_set.contains(b)) out.add(a, b);
+  }
+  return out;
+}
+
+namespace {
+
+void extend(const std::vector<ActivityId>& activities,
+            const std::set<std::pair<ActivityId, ActivityId>>& pairs,
+            std::vector<ActivityId>& prefix, std::vector<bool>& used,
+            std::vector<std::vector<ActivityId>>& out) {
+  if (prefix.size() == activities.size()) {
+    out.push_back(prefix);
+    return;
+  }
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    if (used[i]) continue;
+    ActivityId cand = activities[i];
+    // cand may be placed next iff every predecessor of cand is placed.
+    bool ready = true;
+    for (std::size_t j = 0; j < activities.size(); ++j) {
+      if (used[j] || j == i) continue;
+      if (pairs.contains({activities[j], cand})) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+    used[i] = true;
+    prefix.push_back(cand);
+    extend(activities, pairs, prefix, used, out);
+    prefix.pop_back();
+    used[i] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<ActivityId>> PrecedesRelation::linear_extensions(
+    const std::vector<ActivityId>& activities) const {
+  std::vector<std::vector<ActivityId>> out;
+  std::vector<ActivityId> prefix;
+  std::vector<bool> used(activities.size(), false);
+  prefix.reserve(activities.size());
+  extend(activities, pairs_, prefix, used, out);
+  return out;
+}
+
+bool PrecedesRelation::acyclic(const std::vector<ActivityId>& activities) const {
+  // Kahn's algorithm over the restriction.
+  std::unordered_map<ActivityId, int> indegree;
+  for (ActivityId a : activities) indegree[a] = 0;
+  for (const auto& [a, b] : pairs_) {
+    if (indegree.contains(a) && indegree.contains(b)) ++indegree[b];
+  }
+  std::vector<ActivityId> ready;
+  for (const auto& [a, d] : indegree) {
+    if (d == 0) ready.push_back(a);
+  }
+  std::size_t removed = 0;
+  while (!ready.empty()) {
+    ActivityId a = ready.back();
+    ready.pop_back();
+    ++removed;
+    for (const auto& [p, q] : pairs_) {
+      if (p == a && indegree.contains(q) && --indegree[q] == 0) {
+        ready.push_back(q);
+      }
+    }
+  }
+  return removed == indegree.size();
+}
+
+std::string PrecedesRelation::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [a, b] : pairs_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "<" << argus::to_string(a) << "," << argus::to_string(b) << ">";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace argus

@@ -1,0 +1,63 @@
+// The precedes(h) relation of §4.1.
+//
+// <a,b> ∈ precedes(h) iff some operation invoked by b terminates after a
+// commits. For well-formed h this is a partial order on activities; it is
+// the information a *dynamic* (locking-style) object can observe online,
+// and dynamic atomicity requires serializability in every total order
+// consistent with it.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace argus {
+
+class PrecedesRelation {
+ public:
+  PrecedesRelation() = default;
+
+  void add(ActivityId a, ActivityId b);
+
+  [[nodiscard]] bool contains(ActivityId a, ActivityId b) const;
+  [[nodiscard]] bool empty() const { return pairs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pairs_.size(); }
+  [[nodiscard]] const std::set<std::pair<ActivityId, ActivityId>>& pairs() const {
+    return pairs_;
+  }
+
+  /// True iff the given total order lists every related pair in relation
+  /// order. Activities absent from `order` are ignored, so a relation over
+  /// a superset of activities can be checked against an order on the
+  /// committed subset.
+  [[nodiscard]] bool consistent_with(const std::vector<ActivityId>& order) const;
+
+  /// Restricts the relation to the given activities (used to reason about
+  /// the committed subset).
+  [[nodiscard]] PrecedesRelation restricted_to(
+      const std::vector<ActivityId>& keep) const;
+
+  /// All total orders of `activities` consistent with this relation
+  /// (linear extensions). Exponential in general; intended for the checker
+  /// layer on paper-sized histories. Activities not mentioned by any pair
+  /// are unconstrained.
+  [[nodiscard]] std::vector<std::vector<ActivityId>> linear_extensions(
+      const std::vector<ActivityId>& activities) const;
+
+  /// True iff the relation restricted to `activities` is acyclic.
+  [[nodiscard]] bool acyclic(const std::vector<ActivityId>& activities) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const PrecedesRelation&, const PrecedesRelation&) =
+      default;
+
+ private:
+  std::set<std::pair<ActivityId, ActivityId>> pairs_;
+};
+
+}  // namespace argus

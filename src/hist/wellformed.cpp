@@ -1,0 +1,253 @@
+#include "hist/wellformed.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace argus {
+
+namespace {
+
+std::string describe(const Event& e, std::size_t index) {
+  return "event #" + std::to_string(index) + " " + to_string(e);
+}
+
+/// Tracks the §2 sequential-process discipline for one pass over h.
+class BaseRules {
+ public:
+  explicit BaseRules(std::vector<std::string>& violations)
+      : violations_(violations) {}
+
+  void observe(const Event& e, std::size_t i) {
+    switch (e.kind) {
+      case EventKind::kInvoke:
+        if (pending_.contains(e.activity)) {
+          violations_.push_back(
+              describe(e, i) +
+              ": activity invoked while a previous invocation is pending");
+        }
+        if (committed_.contains(e.activity)) {
+          violations_.push_back(describe(e, i) +
+                                ": activity invoked after committing");
+        }
+        pending_[e.activity] = e.object;
+        break;
+      case EventKind::kRespond: {
+        auto it = pending_.find(e.activity);
+        if (it == pending_.end()) {
+          violations_.push_back(describe(e, i) +
+                                ": response with no pending invocation");
+        } else {
+          if (it->second != e.object) {
+            violations_.push_back(
+                describe(e, i) +
+                ": response at a different object than the pending invocation");
+          }
+          pending_.erase(it);
+        }
+        break;
+      }
+      case EventKind::kCommit:
+        if (pending_.contains(e.activity)) {
+          violations_.push_back(
+              describe(e, i) +
+              ": activity committed while waiting for an invocation");
+        }
+        if (aborted_.contains(e.activity)) {
+          violations_.push_back(describe(e, i) +
+                                ": activity both commits and aborts");
+        }
+        committed_.insert(e.activity);
+        break;
+      case EventKind::kAbort:
+        if (committed_.contains(e.activity)) {
+          violations_.push_back(describe(e, i) +
+                                ": activity both commits and aborts");
+        }
+        aborted_.insert(e.activity);
+        break;
+      case EventKind::kInitiate:
+        break;  // handled by the timestamped rule sets
+    }
+  }
+
+ private:
+  std::vector<std::string>& violations_;
+  std::unordered_map<ActivityId, ObjectId> pending_;
+  std::unordered_set<ActivityId> committed_;
+  std::unordered_set<ActivityId> aborted_;
+};
+
+/// Enforces uniqueness/consistency of timestamps across "timestamp
+/// events" (a caller-chosen subset of events that carry timestamps).
+class TimestampRules {
+ public:
+  explicit TimestampRules(std::vector<std::string>& violations)
+      : violations_(violations) {}
+
+  void observe_timestamp_event(const Event& e, std::size_t i) {
+    auto [it, inserted] = chosen_.insert({e.activity, e.timestamp});
+    if (!inserted && it->second != e.timestamp) {
+      violations_.push_back(
+          describe(e, i) + ": activity uses two different timestamps (" +
+          std::to_string(it->second) + " and " + std::to_string(e.timestamp) +
+          ")");
+      return;
+    }
+    auto [oit, owner_inserted] = owner_.insert({e.timestamp, e.activity});
+    if (!owner_inserted && oit->second != e.activity) {
+      violations_.push_back(describe(e, i) + ": timestamp " +
+                            std::to_string(e.timestamp) +
+                            " already used by activity " +
+                            to_string(oit->second));
+    }
+  }
+
+ private:
+  std::vector<std::string>& violations_;
+  std::unordered_map<ActivityId, Timestamp> chosen_;
+  std::map<Timestamp, ActivityId> owner_;
+};
+
+/// Enforces "initiate at an object before invoking any operations there"
+/// for the activities a predicate selects.
+class InitiationRules {
+ public:
+  InitiationRules(std::vector<std::string>& violations,
+                  std::function<bool(ActivityId)> applies)
+      : violations_(violations), applies_(std::move(applies)) {}
+
+  void observe(const Event& e, std::size_t i) {
+    if (e.kind == EventKind::kInitiate) {
+      initiated_.insert({e.activity, e.object});
+    } else if (e.kind == EventKind::kInvoke && applies_(e.activity) &&
+               !initiated_.contains({e.activity, e.object})) {
+      violations_.push_back(
+          describe(e, i) +
+          ": activity invoked at an object before initiating there");
+    }
+  }
+
+ private:
+  std::vector<std::string>& violations_;
+  std::function<bool(ActivityId)> applies_;
+  std::set<std::pair<ActivityId, ObjectId>> initiated_;
+};
+
+}  // namespace
+
+std::string WellFormedness::summary() const {
+  if (ok()) return "well-formed";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):\n";
+  for (const auto& v : violations) out << "  " << v << "\n";
+  return out.str();
+}
+
+WellFormedness check_well_formed(const History& h) {
+  WellFormedness result;
+  BaseRules base(result.violations);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h.at(i);
+    if (e.kind == EventKind::kInitiate) {
+      result.violations.push_back(
+          describe(e, i) + ": initiation events are not part of the plain alphabet");
+      continue;
+    }
+    if (e.kind == EventKind::kCommit && e.has_timestamp()) {
+      result.violations.push_back(
+          describe(e, i) +
+          ": timestamped commits are not part of the plain alphabet");
+    }
+    base.observe(e, i);
+  }
+  return result;
+}
+
+WellFormedness check_well_formed_static(const History& h) {
+  WellFormedness result;
+  BaseRules base(result.violations);
+  TimestampRules stamps(result.violations);
+  InitiationRules init(result.violations, [](ActivityId) { return true; });
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h.at(i);
+    if (e.kind == EventKind::kCommit && e.has_timestamp()) {
+      result.violations.push_back(
+          describe(e, i) +
+          ": static-alphabet commits carry no timestamps (timestamps are "
+          "chosen at initiation)");
+    }
+    if (e.kind == EventKind::kInitiate) stamps.observe_timestamp_event(e, i);
+    init.observe(e, i);
+    base.observe(e, i);
+  }
+  return result;
+}
+
+WellFormedness check_well_formed_hybrid(
+    const History& h, const std::unordered_set<ActivityId>& read_only) {
+  WellFormedness result;
+  BaseRules base(result.violations);
+  TimestampRules stamps(result.violations);
+  InitiationRules init(result.violations, [&](ActivityId a) {
+    return read_only.contains(a);
+  });
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h.at(i);
+    const bool ro = read_only.contains(e.activity);
+    switch (e.kind) {
+      case EventKind::kInitiate:
+        if (!ro) {
+          result.violations.push_back(
+              describe(e, i) +
+              ": update activities choose timestamps at commit, not at "
+              "initiation");
+        } else {
+          stamps.observe_timestamp_event(e, i);
+        }
+        break;
+      case EventKind::kCommit:
+        if (ro && e.has_timestamp()) {
+          result.violations.push_back(
+              describe(e, i) +
+              ": read-only activities commit without timestamps");
+        }
+        if (!ro) {
+          if (!e.has_timestamp()) {
+            result.violations.push_back(
+                describe(e, i) + ": update commits must carry a timestamp");
+          } else {
+            stamps.observe_timestamp_event(e, i);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    init.observe(e, i);
+    base.observe(e, i);
+  }
+
+  // Update commit timestamps must be consistent with precedes(h): the
+  // paper's §4.3.1 counterexample is rejected because <a,b> ∈ precedes(h)
+  // while b's timestamp is smaller than a's.
+  const PrecedesRelation rel = h.precedes();
+  for (const auto& [a, b] : rel.pairs()) {
+    if (read_only.contains(a) || read_only.contains(b)) continue;
+    auto ta = h.timestamp_of(a);
+    auto tb = h.timestamp_of(b);
+    if (ta && tb && *ta >= *tb) {
+      result.violations.push_back(
+          "precedes(h) contains <" + to_string(a) + "," + to_string(b) +
+          "> but commit timestamps are " + std::to_string(*ta) + " >= " +
+          std::to_string(*tb));
+    }
+  }
+  return result;
+}
+
+}  // namespace argus

@@ -1,0 +1,44 @@
+// Well-formedness of event sequences.
+//
+// §2 restricts attention to sequences in which activities behave like
+// sequential processes: an activity waits for each invocation to terminate
+// before invoking again, never both commits and aborts, cannot commit
+// while waiting, and invokes nothing after committing. The timestamped
+// alphabets add initiation rules (§4.2.1) and, for hybrid histories,
+// timestamp/precedes consistency (§4.3.1 — the paper's second hybrid
+// example is rejected as ill-formed precisely because an update's commit
+// timestamp contradicts precedes(h)).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "hist/history.h"
+
+namespace argus {
+
+struct WellFormedness {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// §2 rules (plain alphabet: invoke/respond/commit/abort).
+[[nodiscard]] WellFormedness check_well_formed(const History& h);
+
+/// §4.2.1 rules: §2 plus — every activity initiates at an object before
+/// invoking there; initiation timestamps are unique per activity and
+/// distinct across activities; commit events carry no timestamps.
+[[nodiscard]] WellFormedness check_well_formed_static(const History& h);
+
+/// §4.3.1 rules: §2 plus — read-only activities initiate before invoking
+/// and commit plainly; update activities never initiate and commit with
+/// timestamps; timestamp events are unique per activity and distinct
+/// across activities; update commit timestamps are consistent with
+/// precedes(h).
+[[nodiscard]] WellFormedness check_well_formed_hybrid(
+    const History& h, const std::unordered_set<ActivityId>& read_only);
+
+}  // namespace argus

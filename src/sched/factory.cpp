@@ -1,0 +1,27 @@
+#include "sched/factory.h"
+
+namespace argus {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kDynamic:
+      return "dynamic";
+    case Protocol::kStatic:
+      return "static";
+    case Protocol::kHybrid:
+      return "hybrid";
+    case Protocol::kTwoPhase:
+      return "2pl";
+    case Protocol::kCommutativity:
+      return "comm-lock";
+    case Protocol::kTimestamp:
+      return "timestamp";
+  }
+  return "?";
+}
+
+bool supports_snapshot_reads(Protocol p) {
+  return p == Protocol::kHybrid || p == Protocol::kStatic;
+}
+
+}  // namespace argus

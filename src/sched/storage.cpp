@@ -1,0 +1,5 @@
+#include "sched/storage.h"
+
+// Template header anchor.
+
+namespace argus {}  // namespace argus

@@ -1,0 +1,153 @@
+// SingleVersionStorage<Adt>: the storage module of the scheduler model
+// (Fig 5-1).
+//
+// The defining property the paper criticizes: "the semantics of the
+// operations are determined by the interface between the scheduler and
+// the storage module. The order in which operations are scheduled
+// determines the state of the storage module, and hence the results of
+// subsequent operations." Accordingly, this storage applies operations
+// immediately, in scheduler (arrival) order, against a single current
+// state — there are no per-transaction views. Abort is implemented by
+// removing the transaction's operations and re-deriving the state (the
+// replay-based equivalent of before-image undo; the scheduler's conflict
+// rule is what makes this sound, since admitted operations commute with
+// whatever uncommitted operations they overtook).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/ids.h"
+#include "spec/adt_spec.h"
+#include "txn/stable_log.h"
+
+namespace argus {
+
+template <AdtTraits A>
+class SingleVersionStorage {
+ public:
+  struct Applied {
+    ActivityId txn;
+    LoggedOp logged;
+    bool committed{false};
+  };
+
+  /// The current single-version state (committed base plus every applied
+  /// operation in arrival order).
+  [[nodiscard]] const typename A::State& current() const { return current_; }
+
+  /// Applies `op` for `txn` against the current state. Returns the set of
+  /// possible results; the first is chosen and recorded. Empty means the
+  /// operation is not enabled (the scheduler decides whether to wait).
+  std::optional<Value> apply(ActivityId txn, const Operation& op) {
+    auto outcomes = A::step(current_, op);
+    if (outcomes.empty()) return std::nullopt;
+    auto& [result, next] = outcomes.front();
+    applied_.push_back(Applied{txn, LoggedOp{op, result}, false});
+    current_ = std::move(next);
+    return result;
+  }
+
+  /// Marks txn's operations permanent and folds the committed prefix into
+  /// the base state.
+  void commit(ActivityId txn) {
+    for (Applied& a : applied_) {
+      if (a.txn == txn) a.committed = true;
+    }
+    std::size_t folded = 0;
+    while (folded < applied_.size() && applied_[folded].committed) {
+      base_ = step_checked(base_, applied_[folded].logged);
+      ++folded;
+    }
+    applied_.erase(applied_.begin(),
+                   applied_.begin() + static_cast<std::ptrdiff_t>(folded));
+  }
+
+  /// Removes txn's operations and re-derives the current state.
+  void abort(ActivityId txn) {
+    std::erase_if(applied_, [&](const Applied& a) { return a.txn == txn; });
+    rebuild();
+  }
+
+  /// True iff another active transaction has an uncommitted operation.
+  [[nodiscard]] bool other_uncommitted(ActivityId self) const {
+    return std::any_of(applied_.begin(), applied_.end(), [&](const Applied& a) {
+      return !a.committed && a.txn != self;
+    });
+  }
+
+  /// Uncommitted operations held by transactions other than `self`.
+  [[nodiscard]] std::vector<std::pair<ActivityId, Operation>> held_by_others(
+      ActivityId self) const {
+    std::vector<std::pair<ActivityId, Operation>> out;
+    for (const Applied& a : applied_) {
+      if (!a.committed && a.txn != self) out.emplace_back(a.txn, a.logged.op);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<LoggedOp> ops_of(ActivityId txn) const {
+    std::vector<LoggedOp> out;
+    for (const Applied& a : applied_) {
+      if (a.txn == txn) out.push_back(a.logged);
+    }
+    return out;
+  }
+
+  void reset() {
+    base_ = A::initial();
+    current_ = A::initial();
+    applied_.clear();
+  }
+
+  /// Recovery replay of one committed operation onto the base state.
+  void replay(const LoggedOp& logged) {
+    base_ = step_checked(base_, logged);
+    current_ = base_;
+  }
+
+ private:
+  void rebuild() {
+    current_ = base_;
+    for (Applied& a : applied_) {
+      // Re-derivation keeps recorded results when possible (they are
+      // guaranteed reproducible when the conflict rule is sound); if the
+      // result is no longer reachable the first outcome is taken — the
+      // single-version storage has no better answer, which is precisely
+      // the recovery bias of the scheduler model.
+      auto outcomes = A::step(current_, a.logged.op);
+      if (outcomes.empty()) continue;
+      bool matched = false;
+      for (auto& [result, next] : outcomes) {
+        if (result == a.logged.result) {
+          current_ = std::move(next);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        a.logged.result = outcomes.front().first;
+        current_ = outcomes.front().second;
+      }
+    }
+  }
+
+  static typename A::State step_checked(const typename A::State& s,
+                                        const LoggedOp& logged) {
+    auto outcomes = A::step(s, logged.op);
+    for (auto& [result, next] : outcomes) {
+      if (result == logged.result) return std::move(next);
+    }
+    if (!outcomes.empty()) return std::move(outcomes.front().second);
+    return s;
+  }
+
+  typename A::State base_ = A::initial();
+  typename A::State current_ = A::initial();
+  std::vector<Applied> applied_;
+};
+
+}  // namespace argus

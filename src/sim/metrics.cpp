@@ -1,0 +1,48 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace argus {
+
+void LatencyStats::add(double micros) {
+  ++count_;
+  total_ += micros;
+  max_ = std::max(max_, micros);
+  if (sample_.size() < kSampleCap) sample_.push_back(micros);
+}
+
+void LatencyStats::merge(const LatencyStats& other) {
+  count_ += other.count_;
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+  for (double v : other.sample_) {
+    if (sample_.size() >= kSampleCap) break;
+    sample_.push_back(v);
+  }
+}
+
+double LatencyStats::percentile(double q) const {
+  if (sample_.empty()) return 0.0;
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string WorkloadResult::summary() const {
+  std::ostringstream out;
+  out << "committed=" << committed << " aborted=" << aborted
+      << " gave_up=" << gave_up << " throughput=" << throughput() << "/s"
+      << " abort_rate=" << abort_rate() << " deadlocks=" << deadlocks;
+  for (const auto& [reason, n] : aborts_by_reason) {
+    out << " abort[" << to_string(reason) << "]=" << n;
+  }
+  return out.str();
+}
+
+}  // namespace argus

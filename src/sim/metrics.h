@@ -1,0 +1,68 @@
+// Aggregated workload metrics: the measurements every experiment reports
+// (committed/aborted counts by reason, latency distribution, throughput).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+
+namespace argus {
+
+/// Online latency aggregation with a bounded sample for percentiles.
+class LatencyStats {
+ public:
+  void add(double micros);
+
+  /// Merges another aggregate into this one (sample concatenation, capped).
+  void merge(const LatencyStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double max() const { return max_; }
+  /// q in [0,1]; computed from the retained sample (all points when fewer
+  /// than the cap were observed).
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  static constexpr std::size_t kSampleCap = 65536;
+  std::uint64_t count_{0};
+  double total_{0.0};
+  double max_{0.0};
+  std::vector<double> sample_;
+};
+
+struct LabelStats {
+  std::uint64_t committed{0};
+  std::uint64_t aborted{0};
+  std::map<AbortReason, std::uint64_t> aborts_by_reason;
+  LatencyStats latency;  // committed transactions, begin-to-commit incl. retries
+};
+
+struct WorkloadResult {
+  double seconds{0.0};
+  std::uint64_t committed{0};
+  std::uint64_t aborted{0};
+  std::uint64_t gave_up{0};  // exceeded retry budget
+  std::map<AbortReason, std::uint64_t> aborts_by_reason;
+  std::map<std::string, LabelStats> by_label;
+  std::uint64_t deadlocks{0};
+
+  [[nodiscard]] double throughput() const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
+  }
+  [[nodiscard]] double abort_rate() const {
+    const auto attempts = committed + aborted;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(aborted) /
+                               static_cast<double>(attempts);
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace argus

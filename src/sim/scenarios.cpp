@@ -1,0 +1,163 @@
+#include "sim/scenarios.h"
+
+#include <chrono>
+#include <thread>
+
+#include "spec/adts/bank_account.h"
+#include "spec/adts/fifo_queue.h"
+
+namespace argus {
+
+namespace {
+
+void hold(int hold_us) {
+  if (hold_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(hold_us));
+  }
+}
+
+}  // namespace
+
+BankScenario BankScenario::create(Runtime& rt, Protocol protocol, int n,
+                                  std::int64_t initial_balance) {
+  BankScenario scenario;
+  scenario.accounts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    scenario.accounts.push_back(make_object<BankAccountAdt>(
+        rt, protocol, "account" + std::to_string(i)));
+  }
+  if (initial_balance > 0) {
+    auto setup = rt.begin();
+    for (const auto& account : scenario.accounts) {
+      account->invoke(*setup, account::deposit(initial_balance));
+    }
+    rt.commit(setup);
+  }
+  return scenario;
+}
+
+MixItem BankScenario::transfer_mix(std::int64_t amount, int weight,
+                                   int hold_us) const {
+  return MixItem{
+      "transfer", TxnKind::kUpdate, weight,
+      [accounts = this->accounts, amount, hold_us](Transaction& txn,
+                                                   SplitMix64& rng) {
+        const std::size_t from = rng.below(accounts.size());
+        std::size_t to = rng.below(accounts.size());
+        if (to == from) to = (to + 1) % accounts.size();
+        const Value got =
+            accounts[from]->invoke(txn, account::withdraw(amount));
+        hold(hold_us);
+        if (got.is_unit()) {  // "ok": funds were available
+          accounts[to]->invoke(txn, account::deposit(amount));
+        }
+      }};
+}
+
+MixItem BankScenario::audit_mix(bool read_only, int weight,
+                                int hold_us) const {
+  return MixItem{
+      "audit", read_only ? TxnKind::kReadOnly : TxnKind::kUpdate, weight,
+      [accounts = this->accounts, hold_us](Transaction& txn, SplitMix64&) {
+        std::int64_t total = 0;
+        for (const auto& account : accounts) {
+          total += account->invoke(txn, account::balance()).as_int();
+          hold(hold_us);
+        }
+        (void)total;
+      }};
+}
+
+std::int64_t BankScenario::total_balance(Runtime& rt, bool read_only) const {
+  auto txn = read_only ? rt.begin_read_only() : rt.begin();
+  std::int64_t total = 0;
+  for (const auto& account : accounts) {
+    total += account->invoke(*txn, account::balance()).as_int();
+  }
+  rt.commit(txn);
+  return total;
+}
+
+QueueScenario QueueScenario::create(Runtime& rt, Protocol protocol,
+                                    const std::string& name) {
+  QueueScenario scenario;
+  if (protocol == Protocol::kHybrid) {
+    scenario.queue = rt.create_hybrid_queue(name);
+  } else {
+    scenario.queue = make_object<FifoQueueAdt>(rt, protocol, name);
+  }
+  return scenario;
+}
+
+MixItem QueueScenario::producer_mix(int burst, int weight) const {
+  return MixItem{"producer", TxnKind::kUpdate, weight,
+                 [queue = this->queue, burst](Transaction& txn,
+                                              SplitMix64& rng) {
+                   for (int i = 0; i < burst; ++i) {
+                     queue->invoke(txn, fifo::enqueue(rng.range(0, 999)));
+                   }
+                 }};
+}
+
+MixItem QueueScenario::consumer_mix(int burst, int weight) const {
+  return MixItem{"consumer", TxnKind::kUpdate, weight,
+                 [queue = this->queue, burst](Transaction& txn, SplitMix64&) {
+                   for (int i = 0; i < burst; ++i) {
+                     queue->invoke(txn, fifo::dequeue());
+                   }
+                 }};
+}
+
+AccountScenario AccountScenario::create(Runtime& rt, Protocol protocol,
+                                        std::int64_t initial_balance) {
+  AccountScenario scenario;
+  scenario.account = make_object<BankAccountAdt>(rt, protocol, "account");
+  if (initial_balance > 0) {
+    auto setup = rt.begin();
+    scenario.account->invoke(*setup, account::deposit(initial_balance));
+    rt.commit(setup);
+  }
+  return scenario;
+}
+
+MixItem AccountScenario::withdraw_mix(std::int64_t amount, int weight) const {
+  return MixItem{"withdraw", TxnKind::kUpdate, weight,
+                 [account = this->account, amount](Transaction& txn,
+                                                   SplitMix64&) {
+                   account->invoke(txn, account::withdraw(amount));
+                 }};
+}
+
+MixItem AccountScenario::deposit_mix(std::int64_t amount, int weight) const {
+  return MixItem{"deposit", TxnKind::kUpdate, weight,
+                 [account = this->account, amount](Transaction& txn,
+                                                   SplitMix64&) {
+                   account->invoke(txn, account::deposit(amount));
+                 }};
+}
+
+MixItem AccountScenario::withdraw_burst_mix(std::int64_t amount, int count,
+                                            int hold_us, int weight) const {
+  return MixItem{"withdraw", TxnKind::kUpdate, weight,
+                 [account = this->account, amount, count, hold_us](
+                     Transaction& txn, SplitMix64&) {
+                   for (int i = 0; i < count; ++i) {
+                     account->invoke(txn, account::withdraw(amount));
+                     hold(hold_us);
+                   }
+                 }};
+}
+
+MixItem AccountScenario::deposit_burst_mix(std::int64_t amount, int count,
+                                           int hold_us, int weight) const {
+  return MixItem{"deposit", TxnKind::kUpdate, weight,
+                 [account = this->account, amount, count, hold_us](
+                     Transaction& txn, SplitMix64&) {
+                   for (int i = 0; i < count; ++i) {
+                     account->invoke(txn, account::deposit(amount));
+                     hold(hold_us);
+                   }
+                 }};
+}
+
+}  // namespace argus

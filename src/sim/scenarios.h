@@ -1,0 +1,84 @@
+// Prebuilt workload scenarios shared by benchmarks, examples and
+// integration tests. Each scenario corresponds to a setting the paper
+// argues about:
+//
+//   Bank     — §4.3.3 / [Lamport 76]: transfer updates + audit read-only
+//              activities over a set of accounts.
+//   Queue    — §5.1: producer/consumer transactions over a FIFO queue.
+//   Accounts — §5.1: concurrent withdraw/deposit pressure on a single
+//              account with tunable headroom.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/factory.h"
+#include "sim/workload.h"
+
+namespace argus {
+
+/// A bank of `n` accounts under the given protocol, each seeded (via a
+/// setup transaction) with `initial_balance`.
+struct BankScenario {
+  std::vector<std::shared_ptr<ManagedObject>> accounts;
+
+  static BankScenario create(Runtime& rt, Protocol protocol, int n,
+                             std::int64_t initial_balance);
+
+  /// Transfer: withdraw `amount` from one random account, deposit into
+  /// another, with `hold_us` of simulated work in between. Skips
+  /// gracefully (no-op deposit) on insufficient funds.
+  [[nodiscard]] MixItem transfer_mix(std::int64_t amount, int weight,
+                                     int hold_us = 0) const;
+
+  /// Audit: read every account's balance, spending `hold_us` of work per
+  /// account (the paper's "long read-only activities"). `read_only`
+  /// selects TxnKind::kReadOnly (hybrid/static snapshot path) vs. running
+  /// the audit as an ordinary update transaction (what dynamic locking
+  /// forces).
+  [[nodiscard]] MixItem audit_mix(bool read_only, int weight,
+                                  int hold_us = 0) const;
+
+  /// Sum of all committed balances, read in one read-only transaction
+  /// where supported, else an update transaction.
+  [[nodiscard]] std::int64_t total_balance(Runtime& rt, bool read_only) const;
+};
+
+/// A FIFO queue under the given protocol; Protocol::kHybrid uses the
+/// type-specific commit-order HybridFifoQueue.
+struct QueueScenario {
+  std::shared_ptr<ManagedObject> queue;
+
+  static QueueScenario create(Runtime& rt, Protocol protocol,
+                              const std::string& name = "queue");
+
+  /// Producer: enqueue `burst` values.
+  [[nodiscard]] MixItem producer_mix(int burst, int weight) const;
+  /// Consumer: dequeue `burst` values (waits for data).
+  [[nodiscard]] MixItem consumer_mix(int burst, int weight) const;
+};
+
+/// A single account with concurrent withdraw pressure (§5.1). Headroom is
+/// controlled by the initial balance.
+struct AccountScenario {
+  std::shared_ptr<ManagedObject> account;
+
+  static AccountScenario create(Runtime& rt, Protocol protocol,
+                                std::int64_t initial_balance);
+
+  [[nodiscard]] MixItem withdraw_mix(std::int64_t amount, int weight) const;
+  [[nodiscard]] MixItem deposit_mix(std::int64_t amount, int weight) const;
+
+  /// Burst variants: `count` operations per transaction with `hold_us`
+  /// microseconds of simulated application work between them — the
+  /// transaction holds its locks/intentions across the burst, which is
+  /// what makes protocol-level concurrency differences measurable.
+  [[nodiscard]] MixItem withdraw_burst_mix(std::int64_t amount, int count,
+                                           int hold_us, int weight) const;
+  [[nodiscard]] MixItem deposit_burst_mix(std::int64_t amount, int count,
+                                          int hold_us, int weight) const;
+};
+
+}  // namespace argus

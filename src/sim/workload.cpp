@@ -1,0 +1,108 @@
+#include "sim/workload.h"
+
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+namespace argus {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+WorkloadResult WorkloadDriver::run(const std::vector<MixItem>& mix) {
+  if (mix.empty()) throw UsageError("empty workload mix");
+  const int total_weight = std::accumulate(
+      mix.begin(), mix.end(), 0,
+      [](int acc, const MixItem& item) { return acc + item.weight; });
+  if (total_weight <= 0) throw UsageError("workload mix has no weight");
+
+  WorkloadResult result;
+  std::mutex result_mu;
+  const auto t0 = Clock::now();
+
+  auto worker = [&](int thread_index) {
+    SplitMix64 rng(options_.seed * 0x9e3779b9ULL +
+                   static_cast<std::uint64_t>(thread_index));
+    WorkloadResult local;
+
+    for (int i = 0; i < options_.transactions_per_thread; ++i) {
+      // Weighted pick.
+      std::int64_t roll = rng.range(0, total_weight - 1);
+      const MixItem* item = &mix.front();
+      for (const MixItem& candidate : mix) {
+        roll -= candidate.weight;
+        if (roll < 0) {
+          item = &candidate;
+          break;
+        }
+      }
+
+      const auto begin_time = Clock::now();
+      bool done = false;
+      for (int attempt = 0; attempt <= options_.max_retries && !done;
+           ++attempt) {
+        auto txn = rt_.tm().begin(item->kind);
+        if (options_.timestamp_skew_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              rng.below(static_cast<std::uint64_t>(options_.timestamp_skew_us) +
+                        1)));
+        }
+        try {
+          item->body(*txn, rng);
+          rt_.tm().commit(txn);
+          done = true;
+          ++local.committed;
+          auto& stats = local.by_label[item->label];
+          ++stats.committed;
+          stats.latency.add(micros_since(begin_time));
+        } catch (const TransactionAborted& e) {
+          rt_.tm().abort(txn, e.reason());
+          ++local.aborted;
+          ++local.aborts_by_reason[e.reason()];
+          auto& stats = local.by_label[item->label];
+          ++stats.aborted;
+          ++stats.aborts_by_reason[e.reason()];
+        }
+      }
+      if (!done) ++local.gave_up;
+    }
+
+    const std::scoped_lock lock(result_mu);
+    result.committed += local.committed;
+    result.aborted += local.aborted;
+    result.gave_up += local.gave_up;
+    for (const auto& [reason, n] : local.aborts_by_reason) {
+      result.aborts_by_reason[reason] += n;
+    }
+    for (auto& [label, stats] : local.by_label) {
+      auto& global = result.by_label[label];
+      global.committed += stats.committed;
+      global.aborted += stats.aborted;
+      for (const auto& [reason, n] : stats.aborts_by_reason) {
+        global.aborts_by_reason[reason] += n;
+      }
+      global.latency.merge(stats.latency);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  result.deadlocks = rt_.tm().detector().deadlocks_resolved();
+  return result;
+}
+
+}  // namespace argus

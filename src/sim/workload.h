@@ -1,0 +1,55 @@
+// WorkloadDriver: runs a weighted mix of transaction bodies from
+// concurrent worker threads against a Runtime, with retry-on-abort, and
+// aggregates metrics. All experiment binaries (bench/) and the
+// integration tests drive protocols through this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/runtime.h"
+#include "sim/metrics.h"
+
+namespace argus {
+
+/// One transaction's application logic. Invoked with an active
+/// transaction; throws TransactionAborted when the protocol aborts it
+/// (the driver catches and retries).
+using TxnBody = std::function<void(Transaction&, SplitMix64&)>;
+
+struct MixItem {
+  std::string label;
+  TxnKind kind{TxnKind::kUpdate};
+  int weight{1};
+  TxnBody body;
+};
+
+struct WorkloadOptions {
+  int threads{4};
+  int transactions_per_thread{200};
+  int max_retries{100};
+  std::uint64_t seed{1};
+  /// Injected delay (microseconds, uniform in [0, skew]) between begin()
+  /// — where the initiation timestamp is drawn — and the first operation.
+  /// Models poorly synchronized timestamp generation for the static
+  /// protocol experiments (§4.2.3).
+  int timestamp_skew_us{0};
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Runtime& rt, WorkloadOptions options)
+      : rt_(rt), options_(options) {}
+
+  /// Runs the mix to completion and returns aggregated metrics.
+  [[nodiscard]] WorkloadResult run(const std::vector<MixItem>& mix);
+
+ private:
+  Runtime& rt_;
+  WorkloadOptions options_;
+};
+
+}  // namespace argus

@@ -1,0 +1,38 @@
+#include "spec/adts/bank_account.h"
+
+namespace argus {
+
+Outcomes<BankAccountAdt::State> BankAccountAdt::step(
+    const State& s, const Operation& operation) {
+  if (operation.name == "balance" && operation.args.empty()) {
+    return {{Value{s}, s}};
+  }
+  if (operation.args.size() != 1 || !operation.args[0].is_int()) return {};
+  const std::int64_t n = operation.args[0].as_int();
+  if (n < 0) return {};  // negative amounts are not meaningful
+  if (operation.name == "deposit") {
+    return {{ok(), s + n}};
+  }
+  if (operation.name == "withdraw") {
+    if (s >= n) return {{ok(), s - n}};
+    return {{Value{kInsufficientFunds}, s}};
+  }
+  return {};
+}
+
+bool BankAccountAdt::is_read_only(const Operation& op) {
+  return op.name == "balance";
+}
+
+bool BankAccountAdt::static_commutes(const Operation& p, const Operation& q) {
+  // The state-independent truth (what a scheduler-model conflict table can
+  // say): deposits commute with deposits, balance reads commute with each
+  // other, and nothing else commutes in *every* state — two withdraws
+  // conflict (the balance may cover one but not both), and deposits
+  // conflict with withdraws (a deposit may tip a withdraw from abnormal to
+  // normal termination). §5.1 spells out both cases.
+  if (p.name == "deposit" && q.name == "deposit") return true;
+  return p.name == "balance" && q.name == "balance";
+}
+
+}  // namespace argus

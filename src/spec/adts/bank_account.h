@@ -1,0 +1,39 @@
+// Bank account — the §5.1 example separating data-dependent concurrency
+// control from the scheduler model.
+//
+// Operations: deposit(n) -> ok, withdraw(n) -> ok | "insufficient_funds",
+// balance -> n. Withdraw is total: it terminates abnormally (result
+// "insufficient_funds") rather than being disabled when the balance is too
+// small. Two withdraws commute exactly when the balance covers both — a
+// state-dependent fact invisible to static conflict tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spec/adt_spec.h"
+
+namespace argus {
+
+struct BankAccountAdt {
+  using State = std::int64_t;  // current balance; never negative
+
+  static State initial() { return 0; }
+  static Outcomes<State> step(const State& s, const Operation& op);
+  static bool is_read_only(const Operation& op);
+  static bool static_commutes(const Operation& p, const Operation& q);
+  static std::string type_name() { return "bank_account"; }
+  static std::string describe(const State& s) {
+    return "balance=" + std::to_string(s);
+  }
+};
+
+inline const char* kInsufficientFunds = "insufficient_funds";
+
+namespace account {
+inline Operation deposit(std::int64_t n) { return op("deposit", n); }
+inline Operation withdraw(std::int64_t n) { return op("withdraw", n); }
+inline Operation balance() { return op("balance"); }
+}  // namespace account
+
+}  // namespace argus

@@ -1,0 +1,20 @@
+#include "spec/adts/counter.h"
+
+namespace argus {
+
+Outcomes<CounterAdt::State> CounterAdt::step(const State& s,
+                                             const Operation& operation) {
+  if (operation.name == "increment" && operation.args.empty()) {
+    return {{Value{s + 1}, s + 1}};
+  }
+  return {};
+}
+
+bool CounterAdt::is_read_only(const Operation&) { return false; }
+
+bool CounterAdt::static_commutes(const Operation&, const Operation&) {
+  // Two increments never commute: each returns its serial position.
+  return false;
+}
+
+}  // namespace argus

@@ -1,0 +1,34 @@
+// Counter — the object used in the paper's optimality proof (§4.1).
+//
+// A single operation, increment, which increments the state and returns
+// the resulting value; the serial sequences are thus exactly
+// <increment,y,a1> <1,y,a1> <increment,y,a2> <2,y,a2> ... as printed in
+// the paper. Because the returned value exposes the exact position of the
+// increment in the serial order, a counter history is serializable in at
+// most one order of its committed activities — which is what the
+// optimality construction exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spec/adt_spec.h"
+
+namespace argus {
+
+struct CounterAdt {
+  using State = std::int64_t;
+
+  static State initial() { return 0; }
+  static Outcomes<State> step(const State& s, const Operation& op);
+  static bool is_read_only(const Operation& op);
+  static bool static_commutes(const Operation& p, const Operation& q);
+  static std::string type_name() { return "counter"; }
+  static std::string describe(const State& s) { return std::to_string(s); }
+};
+
+namespace counter {
+inline Operation increment() { return op("increment"); }
+}  // namespace counter
+
+}  // namespace argus

@@ -1,0 +1,67 @@
+#include "spec/adts/int_set.h"
+
+#include <sstream>
+
+namespace argus {
+
+namespace {
+
+bool unary_int(const Operation& op) {
+  return op.args.size() == 1 && op.args[0].is_int();
+}
+
+}  // namespace
+
+Outcomes<IntSetAdt::State> IntSetAdt::step(const State& s,
+                                           const Operation& operation) {
+  if (!unary_int(operation)) return {};
+  const std::int64_t n = operation.args[0].as_int();
+  if (operation.name == "insert") {
+    State next = s;
+    next.insert(n);
+    return {{ok(), std::move(next)}};
+  }
+  if (operation.name == "delete") {
+    State next = s;
+    next.erase(n);
+    return {{ok(), std::move(next)}};
+  }
+  if (operation.name == "member") {
+    return {{Value{s.contains(n)}, s}};
+  }
+  return {};
+}
+
+bool IntSetAdt::is_read_only(const Operation& op) {
+  return op.name == "member";
+}
+
+bool IntSetAdt::static_commutes(const Operation& p, const Operation& q) {
+  if (!unary_int(p) || !unary_int(q)) return false;
+  const std::int64_t np = p.args[0].as_int();
+  const std::int64_t nq = q.args[0].as_int();
+  // Operations on distinct elements always commute.
+  if (np != nq) return true;
+  // Same element: idempotent pairs commute; observation vs. mutation and
+  // insert vs. delete do not (there is a state where results or final
+  // states differ).
+  if (p.name == q.name && (p.name == "insert" || p.name == "delete")) {
+    return true;
+  }
+  return p.name == "member" && q.name == "member";
+}
+
+std::string IntSetAdt::describe(const State& s) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (std::int64_t n : s) {
+    if (!first) out << ",";
+    first = false;
+    out << n;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace argus

@@ -1,0 +1,34 @@
+// Integer set — the paper's running example (§2, §3, §4).
+//
+// Operations: insert(n) -> ok, delete(n) -> ok, member(n) -> bool.
+// Insert and delete are idempotent set operations, which is what makes
+// insert/insert and delete/delete commute even on equal arguments.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "spec/adt_spec.h"
+
+namespace argus {
+
+struct IntSetAdt {
+  using State = std::set<std::int64_t>;
+
+  static State initial() { return {}; }
+  static Outcomes<State> step(const State& s, const Operation& op);
+  static bool is_read_only(const Operation& op);
+  static bool static_commutes(const Operation& p, const Operation& q);
+  static std::string type_name() { return "int_set"; }
+  static std::string describe(const State& s);
+};
+
+/// Operation factories matching the paper's notation.
+namespace intset {
+inline Operation insert(std::int64_t n) { return op("insert", n); }
+inline Operation del(std::int64_t n) { return op("delete", n); }
+inline Operation member(std::int64_t n) { return op("member", n); }
+}  // namespace intset
+
+}  // namespace argus

@@ -1,0 +1,76 @@
+#include "spec/adts/kv_store.h"
+
+#include <sstream>
+
+namespace argus {
+
+namespace {
+
+bool has_int_key(const Operation& op, std::size_t arity) {
+  if (op.args.size() != arity) return false;
+  for (const Value& v : op.args) {
+    if (!v.is_int()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Outcomes<KVStoreAdt::State> KVStoreAdt::step(const State& s,
+                                             const Operation& operation) {
+  if (operation.name == "put" && has_int_key(operation, 2)) {
+    State next = s;
+    next[operation.args[0].as_int()] = operation.args[1].as_int();
+    return {{ok(), std::move(next)}};
+  }
+  if (!has_int_key(operation, 1)) return {};
+  const std::int64_t k = operation.args[0].as_int();
+  if (operation.name == "get") {
+    auto it = s.find(k);
+    if (it == s.end()) return {{Value{"none"}, s}};
+    return {{Value{it->second}, s}};
+  }
+  if (operation.name == "remove") {
+    State next = s;
+    next.erase(k);
+    return {{ok(), std::move(next)}};
+  }
+  if (operation.name == "contains") {
+    return {{Value{s.contains(k)}, s}};
+  }
+  return {};
+}
+
+bool KVStoreAdt::is_read_only(const Operation& op) {
+  return op.name == "get" || op.name == "contains";
+}
+
+bool KVStoreAdt::static_commutes(const Operation& p, const Operation& q) {
+  if (p.args.empty() || q.args.empty() || !p.args[0].is_int() ||
+      !q.args[0].is_int()) {
+    return false;
+  }
+  // Distinct keys never interact.
+  if (p.args[0].as_int() != q.args[0].as_int()) return true;
+  // Same key: reads commute with reads; remove/remove and identical
+  // put/put are idempotent pairs.
+  if (is_read_only(p) && is_read_only(q)) return true;
+  if (p.name == "remove" && q.name == "remove") return true;
+  if (p.name == "put" && q.name == "put") return p.args == q.args;
+  return false;
+}
+
+std::string KVStoreAdt::describe(const State& s) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [k, v] : s) {
+    if (!first) out << ",";
+    first = false;
+    out << k << ":" << v;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace argus

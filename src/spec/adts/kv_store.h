@@ -1,0 +1,34 @@
+// Key-value store — the workhorse substrate ADT for multi-object
+// workloads (directories, bank databases keyed by account id, ...).
+//
+// Operations: put(k,v) -> ok, get(k) -> v | "none", remove(k) -> ok,
+// contains(k) -> bool. Keys and values are 64-bit integers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "spec/adt_spec.h"
+
+namespace argus {
+
+struct KVStoreAdt {
+  using State = std::map<std::int64_t, std::int64_t>;
+
+  static State initial() { return {}; }
+  static Outcomes<State> step(const State& s, const Operation& op);
+  static bool is_read_only(const Operation& op);
+  static bool static_commutes(const Operation& p, const Operation& q);
+  static std::string type_name() { return "kv_store"; }
+  static std::string describe(const State& s);
+};
+
+namespace kv {
+inline Operation put(std::int64_t k, std::int64_t v) { return op("put", k, v); }
+inline Operation get(std::int64_t k) { return op("get", k); }
+inline Operation remove(std::int64_t k) { return op("remove", k); }
+inline Operation contains(std::int64_t k) { return op("contains", k); }
+}  // namespace kv
+
+}  // namespace argus

@@ -1,0 +1,46 @@
+#include "spec/adts/registry.h"
+
+#include "common/errors.h"
+#include "spec/adts/bag.h"
+#include "spec/adts/bank_account.h"
+#include "spec/adts/counter.h"
+#include "spec/adts/fifo_queue.h"
+#include "spec/adts/int_set.h"
+#include "spec/adts/kv_store.h"
+#include "spec/adts/rw_register.h"
+
+namespace argus {
+
+std::unique_ptr<SequentialSpec> make_spec(const std::string& type_name) {
+  if (type_name == IntSetAdt::type_name()) {
+    return std::make_unique<AdtSpec<IntSetAdt>>();
+  }
+  if (type_name == CounterAdt::type_name()) {
+    return std::make_unique<AdtSpec<CounterAdt>>();
+  }
+  if (type_name == BankAccountAdt::type_name()) {
+    return std::make_unique<AdtSpec<BankAccountAdt>>();
+  }
+  if (type_name == FifoQueueAdt::type_name()) {
+    return std::make_unique<AdtSpec<FifoQueueAdt>>();
+  }
+  if (type_name == KVStoreAdt::type_name()) {
+    return std::make_unique<AdtSpec<KVStoreAdt>>();
+  }
+  if (type_name == BagAdt::type_name()) {
+    return std::make_unique<AdtSpec<BagAdt>>();
+  }
+  if (type_name == RWRegisterAdt::type_name()) {
+    return std::make_unique<AdtSpec<RWRegisterAdt>>();
+  }
+  throw UsageError("unknown ADT: " + type_name);
+}
+
+std::vector<std::string> known_specs() {
+  return {IntSetAdt::type_name(),    CounterAdt::type_name(),
+          BankAccountAdt::type_name(), FifoQueueAdt::type_name(),
+          KVStoreAdt::type_name(),   BagAdt::type_name(),
+          RWRegisterAdt::type_name()};
+}
+
+}  // namespace argus

@@ -1,0 +1,22 @@
+// Name-based registry over the ADT library, for generic tooling (random
+// history generation, benchmarks, the history-checker example).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace argus {
+
+/// Creates a fresh specification by ADT name ("int_set", "counter",
+/// "bank_account", "fifo_queue", "kv_store", "bag", "rw_register").
+/// Throws UsageError for unknown names.
+[[nodiscard]] std::unique_ptr<SequentialSpec> make_spec(
+    const std::string& type_name);
+
+/// All registered ADT names.
+[[nodiscard]] std::vector<std::string> known_specs();
+
+}  // namespace argus

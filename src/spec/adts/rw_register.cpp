@@ -1,0 +1,27 @@
+#include "spec/adts/rw_register.h"
+
+namespace argus {
+
+Outcomes<RWRegisterAdt::State> RWRegisterAdt::step(const State& s,
+                                                   const Operation& operation) {
+  if (operation.name == "read" && operation.args.empty()) {
+    return {{Value{s}, s}};
+  }
+  if (operation.name == "write" && operation.args.size() == 1 &&
+      operation.args[0].is_int()) {
+    return {{ok(), operation.args[0].as_int()}};
+  }
+  return {};
+}
+
+bool RWRegisterAdt::is_read_only(const Operation& op) {
+  return op.name == "read";
+}
+
+bool RWRegisterAdt::static_commutes(const Operation& p, const Operation& q) {
+  if (p.name == "read" && q.name == "read") return true;
+  if (p.name == "write" && q.name == "write") return p.args == q.args;
+  return false;
+}
+
+}  // namespace argus

@@ -1,0 +1,32 @@
+// Read/write register — the degenerate ADT underlying classical
+// concurrency control. With only read and write, data-dependent protocols
+// collapse onto read/write locking and timestamp ordering; the register is
+// the baseline that shows where the paper's generality pays off.
+//
+// Operations: read -> v, write(v) -> ok.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spec/adt_spec.h"
+
+namespace argus {
+
+struct RWRegisterAdt {
+  using State = std::int64_t;
+
+  static State initial() { return 0; }
+  static Outcomes<State> step(const State& s, const Operation& op);
+  static bool is_read_only(const Operation& op);
+  static bool static_commutes(const Operation& p, const Operation& q);
+  static std::string type_name() { return "rw_register"; }
+  static std::string describe(const State& s) { return std::to_string(s); }
+};
+
+namespace rwreg {
+inline Operation read() { return op("read"); }
+inline Operation write(std::int64_t v) { return op("write", v); }
+}  // namespace rwreg
+
+}  // namespace argus

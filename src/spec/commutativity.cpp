@@ -1,0 +1,56 @@
+#include "spec/commutativity.h"
+
+#include <tuple>
+#include <vector>
+
+namespace argus {
+
+namespace {
+
+struct Triple {
+  Value rp;
+  Value rq;
+  std::unique_ptr<SpecState> final_state;
+};
+
+std::vector<Triple> run(const SpecState& s, const Operation& first,
+                        const Operation& second, bool swap_results) {
+  std::vector<Triple> out;
+  for (auto& o1 : s.step(first)) {
+    for (auto& o2 : o1.state->step(second)) {
+      if (swap_results) {
+        out.push_back(Triple{o2.result, o1.result, std::move(o2.state)});
+      } else {
+        out.push_back(Triple{o1.result, o2.result, std::move(o2.state)});
+      }
+    }
+  }
+  return out;
+}
+
+bool subset(const std::vector<Triple>& xs, const std::vector<Triple>& ys) {
+  for (const auto& x : xs) {
+    bool found = false;
+    for (const auto& y : ys) {
+      if (x.rp == y.rp && x.rq == y.rq &&
+          x.final_state->equals(*y.final_state)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool forward_commutes(const SpecState& s, const Operation& p,
+                      const Operation& q) {
+  const auto pq = run(s, p, q, /*swap_results=*/false);
+  const auto qp = run(s, q, p, /*swap_results=*/true);
+  if (pq.empty() || qp.empty()) return false;
+  return subset(pq, qp) && subset(qp, pq);
+}
+
+}  // namespace argus

@@ -1,0 +1,83 @@
+// State-dependent forward commutativity.
+//
+// This is the information a *data-dependent* protocol exploits and a
+// scheduler-model protocol cannot (§5.1): whether two operations commute
+// may depend on the state in which they run. Two withdraws commute when
+// the balance covers both; two enqueues commute when they enqueue equal
+// values; and so on.
+//
+// Definition used here (forward commutativity at state s): both operations
+// are enabled at s, and the set of observable triples
+// (result-of-p, result-of-q, final state) reachable by running p then q
+// equals the set reachable by running q then p. For deterministic
+// specifications this reduces to "same two results and same final state in
+// either order" — exactly the informal test the paper applies to the bank
+// account in §5.1.
+#pragma once
+
+#include <tuple>
+#include <vector>
+
+#include "common/operation.h"
+#include "spec/adt_spec.h"
+#include "spec/spec.h"
+
+namespace argus {
+
+/// Virtual-interface version, used by generic tooling.
+[[nodiscard]] bool forward_commutes(const SpecState& s, const Operation& p,
+                                    const Operation& q);
+
+/// Compile-time version used by the runtime protocols. If the ADT
+/// provides an exact predicate
+///     static bool state_commutes(const State&, const Operation&, const Operation&);
+/// it is used directly; otherwise commutativity is decided by brute-force
+/// replay of both orders through Adt::step.
+template <AdtTraits A>
+[[nodiscard]] bool forward_commutes(const typename A::State& s,
+                                    const Operation& p, const Operation& q) {
+  if constexpr (requires(const typename A::State& st) {
+                  { A::state_commutes(st, p, q) } -> std::same_as<bool>;
+                }) {
+    return A::state_commutes(s, p, q);
+  } else {
+    // Collect (rp, rq, final) triples for both interleavings.
+    using Triple = std::tuple<Value, Value, typename A::State>;
+    auto run = [&](const Operation& first, const Operation& second,
+                   bool swap_results) {
+      std::vector<Triple> out;
+      for (const auto& [r1, s1] : A::step(s, first)) {
+        for (const auto& [r2, s2] : A::step(s1, second)) {
+          if (swap_results) {
+            out.emplace_back(r2, r1, s2);
+          } else {
+            out.emplace_back(r1, r2, s2);
+          }
+        }
+      }
+      return out;
+    };
+    auto pq = run(p, q, /*swap_results=*/false);
+    auto qp = run(q, p, /*swap_results=*/true);
+    if (pq.empty() || qp.empty()) return false;
+    auto subset = [](const std::vector<Triple>& xs,
+                     const std::vector<Triple>& ys) {
+      for (const auto& x : xs) {
+        bool found = false;
+        for (const auto& y : ys) {
+          if (std::get<0>(x) == std::get<0>(y) &&
+              std::get<1>(x) == std::get<1>(y) &&
+              std::get<2>(x) == std::get<2>(y)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    };
+    return subset(pq, qp) && subset(qp, pq);
+  }
+}
+
+}  // namespace argus

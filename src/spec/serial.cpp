@@ -1,0 +1,85 @@
+#include "spec/serial.h"
+
+#include <unordered_map>
+
+#include "common/errors.h"
+
+namespace argus {
+
+namespace {
+
+/// Deduplicates a candidate set by pairwise equality; candidate sets stay
+/// tiny for our ADTs (nondeterminism fans out by at most the bag size) but
+/// duplicates would otherwise accumulate across steps.
+void dedupe(std::vector<std::unique_ptr<SpecState>>& states) {
+  std::vector<std::unique_ptr<SpecState>> unique;
+  for (auto& s : states) {
+    bool dup = false;
+    for (const auto& u : unique) {
+      if (u->equals(*s)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) unique.push_back(std::move(s));
+  }
+  states = std::move(unique);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<SpecState>> replay_states(const SpecState& initial,
+                                                      const History& h) {
+  std::vector<std::unique_ptr<SpecState>> candidates;
+  candidates.push_back(initial.clone());
+
+  // Each activity has at most one pending invocation (well-formedness);
+  // the transition happens at the response, which carries the result that
+  // prunes nondeterminism.
+  std::unordered_map<ActivityId, Operation> pending;
+
+  for (const Event& e : h.events()) {
+    switch (e.kind) {
+      case EventKind::kInvoke:
+        pending[e.activity] = e.operation;
+        break;
+      case EventKind::kRespond: {
+        auto it = pending.find(e.activity);
+        if (it == pending.end()) {
+          // A response with no pending invocation cannot be replayed.
+          return {};
+        }
+        const Operation op = it->second;
+        pending.erase(it);
+        std::vector<std::unique_ptr<SpecState>> next;
+        for (const auto& s : candidates) {
+          for (auto& outcome : s->step(op)) {
+            if (outcome.result == e.result) {
+              next.push_back(std::move(outcome.state));
+            }
+          }
+        }
+        dedupe(next);
+        if (next.empty()) return {};
+        candidates = std::move(next);
+        break;
+      }
+      case EventKind::kCommit:
+      case EventKind::kAbort:
+      case EventKind::kInitiate:
+        break;  // no effect on the sequential state
+    }
+  }
+  return candidates;
+}
+
+bool serial_acceptable_from(const SpecState& initial, const History& h) {
+  return !replay_states(initial, h).empty();
+}
+
+bool serial_acceptable(const SequentialSpec& spec, const History& h) {
+  const auto init = spec.initial_state();
+  return serial_acceptable_from(*init, h);
+}
+
+}  // namespace argus

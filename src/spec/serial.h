@@ -1,0 +1,39 @@
+// Serial acceptability: does an object's specification permit a given
+// serial event sequence?
+//
+// This implements the paper's "acceptable" judgement (§3) for a single
+// object: a serial history at x is acceptable iff the recorded
+// (operation, result) pairs can be replayed through the sequential
+// specification from its initial state. Nondeterministic specifications
+// are handled by NFA-style subset simulation: we carry the set of states
+// the object could be in; a response prunes it to the successors matching
+// the recorded result, and acceptance fails when the set empties.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hist/history.h"
+#include "spec/spec.h"
+
+namespace argus {
+
+/// Replays h (a history at one object; commit/abort/initiate events are
+/// ignored) through `spec`. Returns true iff every recorded response is
+/// permitted. Pending invocations without a response impose no
+/// constraint. h need not be serial in the multi-activity sense — this
+/// checks the *object order* of responses, which is exactly what is needed
+/// to test a candidate serial sequence.
+[[nodiscard]] bool serial_acceptable(const SequentialSpec& spec,
+                                     const History& h);
+
+/// As above but starting from an explicit state (used by checkers that
+/// replay suffixes).
+[[nodiscard]] bool serial_acceptable_from(const SpecState& initial,
+                                          const History& h);
+
+/// The set of states reachable by replaying h; empty iff unacceptable.
+[[nodiscard]] std::vector<std::unique_ptr<SpecState>> replay_states(
+    const SpecState& initial, const History& h);
+
+}  // namespace argus

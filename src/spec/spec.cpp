@@ -1,0 +1,6 @@
+#include "spec/spec.h"
+
+// SpecState and SequentialSpec are pure interfaces; this translation unit
+// anchors their vtables.
+
+namespace argus {}  // namespace argus

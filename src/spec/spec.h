@@ -1,0 +1,72 @@
+// Sequential specifications of objects.
+//
+// The paper assumes "an explicit description of the acceptable sequences
+// for each object" (§3) and stresses that specifications must admit
+// *nondeterministic* operations (§1). We represent a specification as a
+// state machine whose step function returns the set of possible
+// (result, successor-state) outcomes for an operation:
+//
+//   * one outcome   — deterministic operation,
+//   * many outcomes — nondeterministic operation (e.g. Bag::remove),
+//   * no outcomes   — the operation is not enabled in this state (a serial
+//                     sequence performing it there is unacceptable).
+//
+// The set of acceptable serial event sequences of the paper is exactly the
+// set of sequences replayable through this machine (see serial.h).
+//
+// Two layers are provided: a virtual interface (SpecState/SequentialSpec)
+// used by the generic checkers, and a compile-time Adt concept
+// (adt_spec.h) used by the runtime protocol templates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/operation.h"
+#include "common/value.h"
+
+namespace argus {
+
+class SpecState {
+ public:
+  struct Next {
+    Value result;
+    std::unique_ptr<SpecState> state;
+  };
+
+  virtual ~SpecState() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<SpecState> clone() const = 0;
+
+  /// All permitted outcomes of `op` in this state; empty means the
+  /// operation is not enabled here.
+  [[nodiscard]] virtual std::vector<Next> step(const Operation& op) const = 0;
+
+  [[nodiscard]] virtual bool equals(const SpecState& other) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+class SequentialSpec {
+ public:
+  virtual ~SequentialSpec() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<SpecState> initial_state() const = 0;
+
+  [[nodiscard]] virtual std::string type_name() const = 0;
+
+  /// True iff `op` can never change the state (in any state). Used to
+  /// classify read-only activities (§4.3) and for read/write baselines.
+  [[nodiscard]] virtual bool is_read_only(const Operation& op) const = 0;
+
+  /// The *scheduler-model* conflict relation: true iff p and q commute in
+  /// every state. This is the state-independent information available to
+  /// the locking protocols of [Bernstein 81], [Korth 81] and
+  /// [Schwarz & Spector 82]; the expressiveness gap between this and the
+  /// state-dependent test (commutativity.h) is the subject of §5.1.
+  [[nodiscard]] virtual bool static_commutes(const Operation& p,
+                                             const Operation& q) const = 0;
+};
+
+}  // namespace argus

@@ -1,0 +1,6 @@
+#include "txn/clock.h"
+
+// LamportClock is header-only; this translation unit exists to give the
+// target a consistent one-cpp-per-header layout.
+
+namespace argus {}  // namespace argus

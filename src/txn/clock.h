@@ -1,0 +1,38 @@
+// Lamport clock ([Lamport 78], cited in §4.3.3) used to generate the
+// timestamps of the static and hybrid properties. Hybrid atomicity needs
+// commit timestamps consistent with precedes at every object; assigning
+// them from a monotone clock inside the commit critical section achieves
+// that (§4.3.3: "this can be achieved ... by using a Lamport clock").
+#pragma once
+
+#include <atomic>
+
+#include "common/ids.h"
+
+namespace argus {
+
+class LamportClock {
+ public:
+  LamportClock() = default;
+
+  /// Next strictly increasing timestamp (starts at 1; 0 is reserved).
+  Timestamp next() { return counter_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Advances the clock so future timestamps exceed `observed` (message
+  /// receipt in Lamport's scheme; timestamp-skew injection in ours).
+  void observe(Timestamp observed) {
+    Timestamp cur = counter_.load(std::memory_order_relaxed);
+    while (cur < observed && !counter_.compare_exchange_weak(
+                                 cur, observed, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] Timestamp now() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Timestamp> counter_{0};
+};
+
+}  // namespace argus

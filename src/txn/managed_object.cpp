@@ -1,0 +1,5 @@
+#include "txn/managed_object.h"
+
+// Interface anchor.
+
+namespace argus {}  // namespace argus

@@ -1,0 +1,146 @@
+#include "txn/manager.h"
+
+namespace argus {
+
+std::shared_ptr<Transaction> TransactionManager::begin(TxnKind kind) {
+  Timestamp ts;
+  {
+    const std::scoped_lock lock(commit_mu_);
+    ts = clock_.next();
+  }
+  const ActivityId id{next_id_.fetch_add(1, std::memory_order_relaxed)};
+  auto t = std::make_shared<Transaction>(id, kind, ts);
+  {
+    const std::scoped_lock lock(mu_);
+    active_[id] = t;
+    ++stats_.begun;
+  }
+  return t;
+}
+
+std::shared_ptr<Transaction> TransactionManager::begin_with_timestamp(
+    TxnKind kind, Timestamp start_ts) {
+  {
+    const std::scoped_lock lock(commit_mu_);
+    clock_.observe(start_ts);
+  }
+  const ActivityId id{next_id_.fetch_add(1, std::memory_order_relaxed)};
+  auto t = std::make_shared<Transaction>(id, kind, start_ts);
+  {
+    const std::scoped_lock lock(mu_);
+    active_[id] = t;
+    ++stats_.begun;
+  }
+  return t;
+}
+
+void TransactionManager::commit(const std::shared_ptr<Transaction>& t) {
+  if (t->state() != TxnState::kActive) {
+    throw UsageError("commit of finished transaction " + to_string(t->id()));
+  }
+  if (t->doomed()) {
+    const AbortReason reason = t->doom_reason();
+    finish_abort(t, reason);
+    throw TransactionAborted(t->id(), reason);
+  }
+
+  const std::vector<ManagedObject*> objects = t->touched();
+
+  // Phase 1: validation. An object may veto by throwing.
+  try {
+    for (ManagedObject* o : objects) o->prepare(*t);
+  } catch (const TransactionAborted& e) {
+    finish_abort(t, e.reason());
+    throw;
+  }
+
+  // Phase 2: assign the commit timestamp, force the intentions log, and
+  // apply — all inside the commit critical section.
+  {
+    const std::scoped_lock lock(commit_mu_);
+    if (t->doomed()) {
+      const AbortReason reason = t->doom_reason();
+      finish_abort(t, reason);
+      throw TransactionAborted(t->id(), reason);
+    }
+    const Timestamp ts = clock_.next();
+    t->set_commit_ts(ts);
+
+    CommitLogRecord record;
+    record.txn = t->id();
+    record.commit_ts = ts;
+    record.start_ts = t->start_ts();
+    for (ManagedObject* o : objects) {
+      CommitLogRecord::Entry entry;
+      entry.object = o->id();
+      entry.ops = o->intentions_of(*t);
+      record.entries.push_back(std::move(entry));
+    }
+    log_.append(std::move(record));  // write-ahead: forced before applying
+
+    for (ManagedObject* o : objects) o->commit(*t, ts);
+    t->set_state(TxnState::kCommitted);
+  }
+
+  detector_.remove(t->id());
+  {
+    const std::scoped_lock lock(mu_);
+    active_.erase(t->id());
+    ++stats_.committed;
+  }
+  // Effects became visible: blocked transactions may now proceed.
+  for (ManagedObject* o : objects) o->wake_all();
+}
+
+void TransactionManager::abort(const std::shared_ptr<Transaction>& t,
+                               AbortReason reason) {
+  if (t->state() != TxnState::kActive) return;
+  finish_abort(t, reason);
+}
+
+void TransactionManager::finish_abort(const std::shared_ptr<Transaction>& t,
+                                      AbortReason reason) {
+  const std::vector<ManagedObject*> objects = t->touched();
+  for (ManagedObject* o : objects) o->abort(*t);
+  t->set_state(TxnState::kAborted);
+  detector_.remove(t->id());
+  {
+    const std::scoped_lock lock(mu_);
+    active_.erase(t->id());
+    ++stats_.aborted;
+    ++stats_.aborted_by_reason[reason];
+  }
+  for (ManagedObject* o : objects) o->wake_all();
+}
+
+TxnStats TransactionManager::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+void TransactionManager::doom_all_active(AbortReason reason) {
+  const std::scoped_lock commit_lock(commit_mu_);
+  std::vector<std::shared_ptr<Transaction>> doomed;
+  {
+    const std::scoped_lock lock(mu_);
+    for (auto& [id, weak] : active_) {
+      if (auto t = weak.lock()) doomed.push_back(std::move(t));
+    }
+  }
+  for (const auto& t : doomed) {
+    t->doom(reason);
+    if (ManagedObject* o = t->waiting_at()) o->wake_all();
+  }
+}
+
+std::vector<std::shared_ptr<Transaction>>
+TransactionManager::active_transactions() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::shared_ptr<Transaction>> out;
+  for (const auto& [id, weak] : active_) {
+    if (auto t = weak.lock()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace argus

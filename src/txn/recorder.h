@@ -1,0 +1,46 @@
+// HistoryRecorder: thread-safe capture of the global event sequence.
+//
+// This is the bridge between the runtime and the formal model: every
+// protocol object records its invoke/respond/commit/abort/initiate events
+// here (inside the critical section where the event takes effect, so the
+// recorded order is a faithful observation of the computation), and tests
+// feed the snapshot to the checkers of src/check. Recording is optional —
+// pass nullptr to objects in benchmarks where capture overhead matters.
+#pragma once
+
+#include <mutex>
+
+#include "hist/history.h"
+
+namespace argus {
+
+class HistoryRecorder {
+ public:
+  HistoryRecorder() = default;
+
+  void record(Event e) {
+    const std::scoped_lock lock(mu_);
+    history_.append(std::move(e));
+  }
+
+  [[nodiscard]] History snapshot() const {
+    const std::scoped_lock lock(mu_);
+    return history_;
+  }
+
+  void clear() {
+    const std::scoped_lock lock(mu_);
+    history_ = History{};
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return history_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  History history_;
+};
+
+}  // namespace argus

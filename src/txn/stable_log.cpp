@@ -1,0 +1,25 @@
+#include "txn/stable_log.h"
+
+namespace argus {
+
+void StableLog::append(CommitLogRecord record) {
+  const std::scoped_lock lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<CommitLogRecord> StableLog::records() const {
+  const std::scoped_lock lock(mu_);
+  return records_;
+}
+
+std::size_t StableLog::size() const {
+  const std::scoped_lock lock(mu_);
+  return records_.size();
+}
+
+void StableLog::clear() {
+  const std::scoped_lock lock(mu_);
+  records_.clear();
+}
+
+}  // namespace argus

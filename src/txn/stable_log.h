@@ -1,0 +1,79 @@
+// Simulated stable storage: a write-ahead intentions log.
+//
+// The paper integrates recoverability into the model rather than fixing a
+// recovery technique; our runtime realizes recoverability with intentions
+// lists in the style of [Lampson & Sturgis] (cited in §4.1): a
+// transaction's operations are buffered per object and forced to the log
+// *before* being applied to the committed state. crash() drops all
+// volatile state; recover() replays the log, so exactly the committed
+// transactions' effects survive — the all-or-nothing property, testable.
+//
+// "Stable" here is process-lifetime memory that crash() deliberately
+// spares; substituting a file-backed log would not change any interface.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/operation.h"
+#include "common/value.h"
+
+namespace argus {
+
+/// One executed operation together with the result it returned. The
+/// result is logged because nondeterministic operations (Bag::remove)
+/// cannot be replayed faithfully from the operation alone.
+struct LoggedOp {
+  Operation op;
+  Value result;
+
+  friend bool operator==(const LoggedOp&, const LoggedOp&) = default;
+};
+
+struct CommitLogRecord {
+  struct Entry {
+    ObjectId object;
+    std::vector<LoggedOp> ops;  // redo intentions, in execution order
+  };
+
+  ActivityId txn;
+  Timestamp commit_ts{kNoTimestamp};
+  /// The transaction's initiation timestamp. Static-atomic objects
+  /// serialize by initiation timestamp, so recovery must reinsert their
+  /// operations at this position, not at the commit position.
+  Timestamp start_ts{kNoTimestamp};
+  std::vector<Entry> entries;
+};
+
+/// Per-record metadata handed to ManagedObject::replay during recovery.
+struct ReplayContext {
+  ActivityId txn;
+  Timestamp commit_ts{kNoTimestamp};
+  Timestamp start_ts{kNoTimestamp};
+};
+
+class StableLog {
+ public:
+  StableLog() = default;
+
+  /// Forces a commit record to stable storage. Once append returns, the
+  /// record survives crash().
+  void append(CommitLogRecord record);
+
+  /// Snapshot of all records in commit order.
+  [[nodiscard]] std::vector<CommitLogRecord> records() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Administrative truncation (checkpointing is out of scope; tests use
+  /// this to reset between scenarios).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CommitLogRecord> records_;
+};
+
+}  // namespace argus

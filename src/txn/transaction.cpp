@@ -1,0 +1,43 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+namespace argus {
+
+Transaction::Transaction(ActivityId id, TxnKind kind, Timestamp start_ts)
+    : id_(id), kind_(kind), start_ts_(start_ts) {}
+
+void Transaction::doom(AbortReason reason) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (doomed_.load(std::memory_order_relaxed)) return;  // first reason wins
+    doom_reason_ = reason;
+  }
+  doomed_.store(true, std::memory_order_release);
+}
+
+AbortReason Transaction::doom_reason() const {
+  const std::scoped_lock lock(mu_);
+  return doom_reason_;
+}
+
+void Transaction::ensure_active() const {
+  if (doomed()) throw TransactionAborted(id_, doom_reason());
+  if (state() != TxnState::kActive) {
+    throw UsageError("operation on finished transaction " + to_string(id_));
+  }
+}
+
+void Transaction::touch(ManagedObject* o) {
+  const std::scoped_lock lock(mu_);
+  if (std::find(touched_.begin(), touched_.end(), o) == touched_.end()) {
+    touched_.push_back(o);
+  }
+}
+
+std::vector<ManagedObject*> Transaction::touched() const {
+  const std::scoped_lock lock(mu_);
+  return touched_;
+}
+
+}  // namespace argus

@@ -1,0 +1,341 @@
+// Sequential-specification tests for every ADT: step semantics,
+// enabledness, read-only classification, and the state-independent
+// conflict tables used by the scheduler-model baselines.
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "spec/adts/bag.h"
+#include "spec/adts/bank_account.h"
+#include "spec/adts/counter.h"
+#include "spec/adts/fifo_queue.h"
+#include "spec/adts/int_set.h"
+#include "spec/adts/kv_store.h"
+#include "spec/adts/registry.h"
+#include "spec/adts/rw_register.h"
+
+namespace argus {
+namespace {
+
+template <typename A>
+std::pair<Value, typename A::State> step1(const typename A::State& s,
+                                          const Operation& o) {
+  auto outcomes = A::step(s, o);
+  EXPECT_EQ(outcomes.size(), 1u) << "expected deterministic op " << to_string(o);
+  return outcomes.front();
+}
+
+// ---------------------------------------------------------------- IntSet
+
+TEST(IntSet, InsertMemberDelete) {
+  auto s = IntSetAdt::initial();
+  auto [r1, s1] = step1<IntSetAdt>(s, intset::insert(3));
+  EXPECT_EQ(r1, ok());
+  auto [r2, s2] = step1<IntSetAdt>(s1, intset::member(3));
+  EXPECT_EQ(r2, Value{true});
+  auto [r3, s3] = step1<IntSetAdt>(s2, intset::del(3));
+  EXPECT_EQ(r3, ok());
+  auto [r4, s4] = step1<IntSetAdt>(s3, intset::member(3));
+  EXPECT_EQ(r4, Value{false});
+}
+
+TEST(IntSet, InsertIdempotent) {
+  auto s = IntSetAdt::initial();
+  auto [r1, s1] = step1<IntSetAdt>(s, intset::insert(3));
+  auto [r2, s2] = step1<IntSetAdt>(s1, intset::insert(3));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(IntSet, DeleteAbsentOk) {
+  auto s = IntSetAdt::initial();
+  auto [r, s1] = step1<IntSetAdt>(s, intset::del(42));
+  EXPECT_EQ(r, ok());
+  EXPECT_EQ(s1, s);
+}
+
+TEST(IntSet, MemberIsReadOnly) {
+  EXPECT_TRUE(IntSetAdt::is_read_only(intset::member(1)));
+  EXPECT_FALSE(IntSetAdt::is_read_only(intset::insert(1)));
+  EXPECT_FALSE(IntSetAdt::is_read_only(intset::del(1)));
+}
+
+TEST(IntSet, MalformedOpsDisabled) {
+  auto s = IntSetAdt::initial();
+  EXPECT_TRUE(IntSetAdt::step(s, op("insert")).empty());
+  EXPECT_TRUE(IntSetAdt::step(s, op("insert", Value{true})).empty());
+  EXPECT_TRUE(IntSetAdt::step(s, op("frobnicate", 1)).empty());
+}
+
+TEST(IntSet, StaticCommutes) {
+  // Distinct elements always commute.
+  EXPECT_TRUE(IntSetAdt::static_commutes(intset::insert(1), intset::del(2)));
+  EXPECT_TRUE(IntSetAdt::static_commutes(intset::member(1), intset::insert(2)));
+  // Same element: idempotent pairs and read pairs commute.
+  EXPECT_TRUE(IntSetAdt::static_commutes(intset::insert(1), intset::insert(1)));
+  EXPECT_TRUE(IntSetAdt::static_commutes(intset::del(1), intset::del(1)));
+  EXPECT_TRUE(IntSetAdt::static_commutes(intset::member(1), intset::member(1)));
+  // Same element: mutator vs observer and insert vs delete conflict.
+  EXPECT_FALSE(IntSetAdt::static_commutes(intset::insert(1), intset::del(1)));
+  EXPECT_FALSE(IntSetAdt::static_commutes(intset::member(1), intset::insert(1)));
+  EXPECT_FALSE(IntSetAdt::static_commutes(intset::member(1), intset::del(1)));
+}
+
+TEST(IntSet, Describe) {
+  auto s = IntSetAdt::initial();
+  s.insert(1);
+  s.insert(3);
+  EXPECT_EQ(IntSetAdt::describe(s), "{1,3}");
+}
+
+// --------------------------------------------------------------- Counter
+
+TEST(Counter, IncrementReturnsNewValue) {
+  auto s = CounterAdt::initial();
+  auto [r1, s1] = step1<CounterAdt>(s, counter::increment());
+  EXPECT_EQ(r1, Value{1});
+  auto [r2, s2] = step1<CounterAdt>(s1, counter::increment());
+  EXPECT_EQ(r2, Value{2});
+  EXPECT_EQ(s2, 2);
+}
+
+TEST(Counter, NothingCommutes) {
+  EXPECT_FALSE(
+      CounterAdt::static_commutes(counter::increment(), counter::increment()));
+}
+
+TEST(Counter, MalformedDisabled) {
+  EXPECT_TRUE(CounterAdt::step(0, op("increment", 1)).empty());
+  EXPECT_TRUE(CounterAdt::step(0, op("decrement")).empty());
+}
+
+// ---------------------------------------------------------- BankAccount
+
+TEST(BankAccount, DepositWithdrawBalance) {
+  auto s = BankAccountAdt::initial();
+  auto [r1, s1] = step1<BankAccountAdt>(s, account::deposit(10));
+  EXPECT_EQ(r1, ok());
+  auto [r2, s2] = step1<BankAccountAdt>(s1, account::withdraw(4));
+  EXPECT_EQ(r2, ok());
+  auto [r3, s3] = step1<BankAccountAdt>(s2, account::balance());
+  EXPECT_EQ(r3, Value{6});
+}
+
+TEST(BankAccount, WithdrawInsufficientTerminatesAbnormally) {
+  auto s = BankAccountAdt::initial();
+  auto [r, s1] = step1<BankAccountAdt>(s, account::withdraw(1));
+  EXPECT_EQ(r, Value{kInsufficientFunds});
+  EXPECT_EQ(s1, 0);  // state unchanged
+}
+
+TEST(BankAccount, ExactBalanceWithdrawOk) {
+  auto [r, s1] = step1<BankAccountAdt>(5, account::withdraw(5));
+  EXPECT_EQ(r, ok());
+  EXPECT_EQ(s1, 0);
+}
+
+TEST(BankAccount, NegativeAmountsDisabled) {
+  EXPECT_TRUE(BankAccountAdt::step(0, op("deposit", -1)).empty());
+  EXPECT_TRUE(BankAccountAdt::step(0, op("withdraw", -1)).empty());
+}
+
+TEST(BankAccount, StaticConflictTable) {
+  // §5.1: deposits commute; withdraws conflict with withdraws and with
+  // deposits (in *some* state the order matters).
+  EXPECT_TRUE(
+      BankAccountAdt::static_commutes(account::deposit(1), account::deposit(2)));
+  EXPECT_FALSE(BankAccountAdt::static_commutes(account::withdraw(1),
+                                               account::withdraw(2)));
+  EXPECT_FALSE(
+      BankAccountAdt::static_commutes(account::deposit(1), account::withdraw(2)));
+  EXPECT_FALSE(
+      BankAccountAdt::static_commutes(account::balance(), account::deposit(1)));
+  EXPECT_TRUE(
+      BankAccountAdt::static_commutes(account::balance(), account::balance()));
+}
+
+TEST(BankAccount, BalanceIsReadOnly) {
+  EXPECT_TRUE(BankAccountAdt::is_read_only(account::balance()));
+  EXPECT_FALSE(BankAccountAdt::is_read_only(account::deposit(1)));
+  EXPECT_FALSE(BankAccountAdt::is_read_only(account::withdraw(1)));
+}
+
+// ------------------------------------------------------------ FifoQueue
+
+TEST(FifoQueue, FifoOrder) {
+  auto s = FifoQueueAdt::initial();
+  auto [r1, s1] = step1<FifoQueueAdt>(s, fifo::enqueue(1));
+  auto [r2, s2] = step1<FifoQueueAdt>(s1, fifo::enqueue(2));
+  auto [r3, s3] = step1<FifoQueueAdt>(s2, fifo::dequeue());
+  EXPECT_EQ(r3, Value{1});
+  auto [r4, s4] = step1<FifoQueueAdt>(s3, fifo::dequeue());
+  EXPECT_EQ(r4, Value{2});
+  EXPECT_TRUE(s4.empty());
+}
+
+TEST(FifoQueue, DequeueOnEmptyDisabled) {
+  EXPECT_TRUE(FifoQueueAdt::step({}, fifo::dequeue()).empty());
+}
+
+TEST(FifoQueue, SizeReadOnly) {
+  auto [r, s1] = step1<FifoQueueAdt>({5, 6}, fifo::size());
+  EXPECT_EQ(r, Value{2});
+  EXPECT_TRUE(FifoQueueAdt::is_read_only(fifo::size()));
+  EXPECT_FALSE(FifoQueueAdt::is_read_only(fifo::dequeue()));
+}
+
+TEST(FifoQueue, EnqueueCommutativityIsArgumentSensitive) {
+  // §5.1: enqueue(1) does not commute with enqueue(2) — but it does
+  // commute with enqueue(1).
+  EXPECT_FALSE(FifoQueueAdt::static_commutes(fifo::enqueue(1), fifo::enqueue(2)));
+  EXPECT_TRUE(FifoQueueAdt::static_commutes(fifo::enqueue(1), fifo::enqueue(1)));
+  EXPECT_FALSE(FifoQueueAdt::static_commutes(fifo::enqueue(1), fifo::dequeue()));
+  EXPECT_FALSE(FifoQueueAdt::static_commutes(fifo::dequeue(), fifo::dequeue()));
+}
+
+TEST(FifoQueue, Describe) {
+  EXPECT_EQ(FifoQueueAdt::describe({1, 2}), "[1,2]");
+  EXPECT_EQ(FifoQueueAdt::describe({}), "[]");
+}
+
+// -------------------------------------------------------------- KVStore
+
+TEST(KVStore, PutGetRemove) {
+  auto s = KVStoreAdt::initial();
+  auto [r1, s1] = step1<KVStoreAdt>(s, kv::put(1, 10));
+  auto [r2, s2] = step1<KVStoreAdt>(s1, kv::get(1));
+  EXPECT_EQ(r2, Value{10});
+  auto [r3, s3] = step1<KVStoreAdt>(s2, kv::remove(1));
+  auto [r4, s4] = step1<KVStoreAdt>(s3, kv::get(1));
+  EXPECT_EQ(r4, Value{"none"});
+}
+
+TEST(KVStore, ContainsAndOverwrite) {
+  auto s = KVStoreAdt::initial();
+  auto [r1, s1] = step1<KVStoreAdt>(s, kv::put(2, 5));
+  auto [r2, s2] = step1<KVStoreAdt>(s1, kv::contains(2));
+  EXPECT_EQ(r2, Value{true});
+  auto [r3, s3] = step1<KVStoreAdt>(s2, kv::put(2, 7));
+  auto [r4, s4] = step1<KVStoreAdt>(s3, kv::get(2));
+  EXPECT_EQ(r4, Value{7});
+}
+
+TEST(KVStore, ConflictTableKeyDisjointness) {
+  EXPECT_TRUE(KVStoreAdt::static_commutes(kv::put(1, 5), kv::put(2, 6)));
+  EXPECT_TRUE(KVStoreAdt::static_commutes(kv::get(1), kv::remove(2)));
+  EXPECT_FALSE(KVStoreAdt::static_commutes(kv::put(1, 5), kv::put(1, 6)));
+  EXPECT_TRUE(KVStoreAdt::static_commutes(kv::put(1, 5), kv::put(1, 5)));
+  EXPECT_TRUE(KVStoreAdt::static_commutes(kv::remove(1), kv::remove(1)));
+  EXPECT_FALSE(KVStoreAdt::static_commutes(kv::get(1), kv::put(1, 5)));
+  EXPECT_TRUE(KVStoreAdt::static_commutes(kv::get(1), kv::contains(1)));
+}
+
+TEST(KVStore, ReadOnlyClassification) {
+  EXPECT_TRUE(KVStoreAdt::is_read_only(kv::get(1)));
+  EXPECT_TRUE(KVStoreAdt::is_read_only(kv::contains(1)));
+  EXPECT_FALSE(KVStoreAdt::is_read_only(kv::put(1, 1)));
+  EXPECT_FALSE(KVStoreAdt::is_read_only(kv::remove(1)));
+}
+
+// ------------------------------------------------------------------ Bag
+
+TEST(Bag, RemoveIsNondeterministic) {
+  auto s = BagAdt::initial();
+  auto [r1, s1] = step1<BagAdt>(s, bag::insert(1));
+  auto [r2, s2] = step1<BagAdt>(s1, bag::insert(2));
+  const auto outcomes = BagAdt::step(s2, bag::remove());
+  ASSERT_EQ(outcomes.size(), 2u);  // may remove 1 or 2
+  EXPECT_NE(outcomes[0].first, outcomes[1].first);
+}
+
+TEST(Bag, RemoveOnEmptyDisabled) {
+  EXPECT_TRUE(BagAdt::step({}, bag::remove()).empty());
+}
+
+TEST(Bag, MultiplicityTracked) {
+  auto s = BagAdt::initial();
+  auto [r1, s1] = step1<BagAdt>(s, bag::insert(1));
+  auto [r2, s2] = step1<BagAdt>(s1, bag::insert(1));
+  const auto outcomes = BagAdt::step(s2, bag::remove());
+  ASSERT_EQ(outcomes.size(), 1u);  // only one distinct element
+  EXPECT_EQ(outcomes[0].first, Value{1});
+  auto [r3, s3] = step1<BagAdt>(outcomes[0].second, bag::size());
+  EXPECT_EQ(r3, Value{1});
+}
+
+TEST(Bag, SizeCountsMultiplicity) {
+  auto s = BagAdt::initial();
+  for (int i = 0; i < 3; ++i) {
+    s = step1<BagAdt>(s, bag::insert(7)).second;
+  }
+  EXPECT_EQ(step1<BagAdt>(s, bag::size()).first, Value{3});
+}
+
+TEST(Bag, InsertsCommute) {
+  EXPECT_TRUE(BagAdt::static_commutes(bag::insert(1), bag::insert(2)));
+  EXPECT_FALSE(BagAdt::static_commutes(bag::insert(1), bag::remove()));
+  EXPECT_FALSE(BagAdt::static_commutes(bag::remove(), bag::remove()));
+  EXPECT_FALSE(BagAdt::static_commutes(bag::size(), bag::insert(1)));
+}
+
+TEST(Bag, Describe) {
+  auto s = BagAdt::initial();
+  s[1] = 2;
+  s[3] = 1;
+  EXPECT_EQ(BagAdt::describe(s), "{1,1,3}");
+}
+
+// ------------------------------------------------------------- Register
+
+TEST(RWRegister, ReadWrite) {
+  auto s = RWRegisterAdt::initial();
+  EXPECT_EQ(step1<RWRegisterAdt>(s, rwreg::read()).first, Value{0});
+  auto [r, s1] = step1<RWRegisterAdt>(s, rwreg::write(9));
+  EXPECT_EQ(step1<RWRegisterAdt>(s1, rwreg::read()).first, Value{9});
+}
+
+TEST(RWRegister, ConflictTable) {
+  EXPECT_TRUE(RWRegisterAdt::static_commutes(rwreg::read(), rwreg::read()));
+  EXPECT_FALSE(RWRegisterAdt::static_commutes(rwreg::read(), rwreg::write(1)));
+  EXPECT_FALSE(RWRegisterAdt::static_commutes(rwreg::write(1), rwreg::write(2)));
+  EXPECT_TRUE(RWRegisterAdt::static_commutes(rwreg::write(1), rwreg::write(1)));
+}
+
+// -------------------------------------------------------------- Registry
+
+TEST(Registry, AllSpecsConstructible) {
+  for (const std::string& name : known_specs()) {
+    auto spec = make_spec(name);
+    ASSERT_NE(spec, nullptr);
+    EXPECT_EQ(spec->type_name(), name);
+    auto state = spec->initial_state();
+    ASSERT_NE(state, nullptr);
+    EXPECT_TRUE(state->equals(*spec->initial_state()));
+  }
+}
+
+TEST(Registry, UnknownSpecThrows) {
+  EXPECT_THROW(make_spec("no_such_adt"), UsageError);
+}
+
+TEST(Registry, KnownSpecsCount) { EXPECT_EQ(known_specs().size(), 7u); }
+
+// Parameterized sanity sweep: for every ADT, the virtual adapter agrees
+// with the trait on read-only classification and produces equal initial
+// states.
+class RegistrySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistrySweep, AdapterConsistency) {
+  auto spec = make_spec(GetParam());
+  auto s0 = spec->initial_state();
+  EXPECT_FALSE(s0->describe().empty());
+  // Cloning preserves equality.
+  auto s1 = s0->clone();
+  EXPECT_TRUE(s0->equals(*s1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdts, RegistrySweep,
+                         ::testing::Values("int_set", "counter",
+                                           "bank_account", "fifo_queue",
+                                           "kv_store", "bag", "rw_register"));
+
+}  // namespace
+}  // namespace argus

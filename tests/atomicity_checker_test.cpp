@@ -1,0 +1,250 @@
+// Behavioural tests of the four atomicity checkers on constructed
+// histories (the paper's own printed traces live in paper_traces_test).
+#include <gtest/gtest.h>
+
+#include "check/atomicity.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+using namespace testutil;
+
+SystemSpec one_set() {
+  SystemSpec sys;
+  sys.add_object(X, "int_set");
+  return sys;
+}
+
+TEST(CheckAtomic, EmptyHistoryAtomic) {
+  const auto sys = one_set();
+  EXPECT_TRUE(check_atomic(sys, History{}).ok);
+}
+
+TEST(CheckAtomic, AbortedEffectsInvisible) {
+  const auto sys = one_set();
+  // b's insert aborted; a's member(3)=false is consistent only because
+  // perm drops b.
+  const History h = hist({
+      invoke(X, B, op("insert", 3)),
+      respond(X, B, ok()),
+      abort(X, B),
+      invoke(X, A, op("member", 3)),
+      respond(X, A, Value{false}),
+      commit(X, A),
+  });
+  EXPECT_TRUE(check_atomic(sys, h).ok);
+}
+
+TEST(CheckAtomic, DirtyReadOfAbortedWriterNotAtomic) {
+  const auto sys = one_set();
+  // a observed b's insert, but b aborted: perm(h) has member(3)=true on
+  // an empty set.
+  const History h = hist({
+      invoke(X, B, op("insert", 3)),
+      respond(X, B, ok()),
+      invoke(X, A, op("member", 3)),
+      respond(X, A, Value{true}),
+      abort(X, B),
+      commit(X, A),
+  });
+  const auto r = check_atomic(sys, h);
+  EXPECT_FALSE(r.ok) << r.explanation;
+}
+
+TEST(CheckAtomic, ActiveActivityIgnored) {
+  const auto sys = one_set();
+  // b never finishes; the committed part is consistent.
+  const History h = hist({
+      invoke(X, B, op("insert", 3)),
+      respond(X, B, ok()),
+      invoke(X, A, op("member", 3)),
+      respond(X, A, Value{false}),
+      commit(X, A),
+  });
+  EXPECT_TRUE(check_atomic(sys, h).ok);
+}
+
+TEST(CheckDynamicAtomic, EmptyPrecedesRequiresAllOrders) {
+  const auto sys = one_set();
+  // No precedes pairs but b observed a: serializable only a-b => not
+  // dynamic atomic.
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit(X, A),
+      commit(X, B),
+  });
+  const auto r = check_dynamic_atomic(sys, h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.explanation.find("b-a"), std::string::npos) << r.explanation;
+}
+
+TEST(CheckDynamicAtomic, PrecedesPairLegitimizesDependency) {
+  const auto sys = one_set();
+  // Same observation, but b's response comes after a's commit: <a,b> in
+  // precedes, so only a-b must be serializable.
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit(X, B),
+  });
+  const auto r = check_dynamic_atomic(sys, h);
+  EXPECT_TRUE(r.ok) << r.explanation;
+}
+
+TEST(CheckDynamicAtomic, AbortedActivitiesUnconstrained) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),  // dirty read...
+      abort(X, B),                 // ...but b aborts
+      commit(X, A),
+  });
+  EXPECT_TRUE(check_dynamic_atomic(sys, h).ok);
+}
+
+TEST(CheckDynamicAtomic, ImpliesAtomic) {
+  // Dynamic atomicity is at least as strong as atomicity on every
+  // history we construct here.
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      invoke(X, B, op("insert", 2)),
+      respond(X, A, ok()),
+      respond(X, B, ok()),
+      commit(X, A),
+      commit(X, B),
+  });
+  EXPECT_TRUE(check_dynamic_atomic(sys, h).ok);
+  EXPECT_TRUE(check_atomic(sys, h).ok);
+}
+
+TEST(CheckStaticAtomic, MissingTimestampFails) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      commit(X, A),
+  });
+  const auto r = check_static_atomic(sys, h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.explanation.find("no timestamp"), std::string::npos);
+}
+
+TEST(CheckStaticAtomic, TimestampOrderRespected) {
+  const auto sys = one_set();
+  const History h = hist({
+      initiate(X, A, 1),
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      initiate(X, B, 2),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit(X, B),
+  });
+  EXPECT_TRUE(check_static_atomic(sys, h).ok);
+}
+
+TEST(CheckStaticAtomic, AbortedActivityTimestampIrrelevant) {
+  const auto sys = one_set();
+  const History h = hist({
+      initiate(X, A, 5),
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      abort(X, A),
+      initiate(X, B, 1),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{false}),
+      commit(X, B),
+  });
+  EXPECT_TRUE(check_static_atomic(sys, h).ok);
+}
+
+TEST(CheckHybridAtomic, CommitTimestampsOrderUpdates) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{false}),
+      commit_at(X, B, 1),  // b serializes first: member(3)=false fits
+      commit_at(X, A, 2),
+  });
+  EXPECT_TRUE(check_hybrid_atomic(sys, h).ok);
+}
+
+TEST(CheckHybridAtomic, WrongCommitOrderFails) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{false}),
+      commit_at(X, B, 2),
+      commit_at(X, A, 1),  // a first: member(3) should then be true
+  });
+  EXPECT_FALSE(check_hybrid_atomic(sys, h).ok);
+}
+
+TEST(CheckHybridAtomic, ReadOnlySnapshotPosition) {
+  const auto sys = one_set();
+  // r initiates between a's and b's commit timestamps and must see a
+  // but not b.
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      commit_at(X, A, 1),
+      initiate(X, R, 2),
+      invoke(X, B, op("insert", 2)),
+      respond(X, B, ok()),
+      commit_at(X, B, 3),
+      invoke(X, R, op("member", 1)),
+      respond(X, R, Value{true}),
+      invoke(X, R, op("member", 2)),
+      respond(X, R, Value{false}),
+      commit(X, R),
+  });
+  EXPECT_TRUE(check_hybrid_atomic(sys, h).ok)
+      << check_hybrid_atomic(sys, h).explanation;
+}
+
+TEST(CheckHybridAtomic, SnapshotSeeingFutureFails) {
+  const auto sys = one_set();
+  const History h = hist({
+      initiate(X, R, 1),
+      invoke(X, B, op("insert", 2)),
+      respond(X, B, ok()),
+      commit_at(X, B, 2),
+      invoke(X, R, op("member", 2)),
+      respond(X, R, Value{true}),  // r (ts 1) saw b (ts 2)
+      commit(X, R),
+  });
+  EXPECT_FALSE(check_hybrid_atomic(sys, h).ok);
+}
+
+TEST(CheckResult, ExplanationsNameOrders) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit(X, B),
+  });
+  const auto r = check_atomic(sys, h);
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.explanation.find("a-b"), std::string::npos) << r.explanation;
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,207 @@
+// Tests for the state-dependent forward-commutativity oracle — the
+// data-dependent information at the heart of the paper's §5.1 argument.
+#include <gtest/gtest.h>
+
+#include "spec/adts/bag.h"
+#include "spec/adts/bank_account.h"
+#include "spec/adts/counter.h"
+#include "spec/adts/fifo_queue.h"
+#include "spec/adts/int_set.h"
+#include "spec/adts/registry.h"
+#include "spec/commutativity.h"
+
+namespace argus {
+namespace {
+
+// ---------------------------------------------------- bank account (§5.1)
+
+TEST(ForwardCommutes, WithdrawsCommuteWhenCovered) {
+  // Balance 10 covers 4+3: the two withdraws commute *in this state*.
+  EXPECT_TRUE(forward_commutes<BankAccountAdt>(10, account::withdraw(4),
+                                               account::withdraw(3)));
+}
+
+TEST(ForwardCommutes, WithdrawsConflictWhenNotCovered) {
+  // Balance 5 covers either but not both.
+  EXPECT_FALSE(forward_commutes<BankAccountAdt>(5, account::withdraw(4),
+                                                account::withdraw(3)));
+}
+
+TEST(ForwardCommutes, WithdrawDepositCommuteWhenDepositNotNeeded) {
+  // §5.1: "as long as the deposits are not needed to cover the
+  // withdrawals".
+  EXPECT_TRUE(forward_commutes<BankAccountAdt>(10, account::withdraw(3),
+                                               account::deposit(5)));
+}
+
+TEST(ForwardCommutes, WithdrawDepositConflictWhenDepositNeeded) {
+  EXPECT_FALSE(forward_commutes<BankAccountAdt>(2, account::withdraw(3),
+                                                account::deposit(5)));
+}
+
+TEST(ForwardCommutes, BothInsufficientCommute) {
+  // Neither withdraw can succeed; both return insufficient_funds in
+  // either order and the state never changes.
+  EXPECT_TRUE(forward_commutes<BankAccountAdt>(1, account::withdraw(4),
+                                               account::withdraw(3)));
+}
+
+TEST(ForwardCommutes, DepositsAlwaysCommute) {
+  for (std::int64_t balance : {0, 1, 100}) {
+    EXPECT_TRUE(forward_commutes<BankAccountAdt>(balance, account::deposit(7),
+                                                 account::deposit(9)));
+  }
+}
+
+TEST(ForwardCommutes, BalanceConflictsWithDeposit) {
+  EXPECT_FALSE(forward_commutes<BankAccountAdt>(10, account::balance(),
+                                                account::deposit(1)));
+}
+
+TEST(ForwardCommutes, BalanceCommutesWithZeroStateChange) {
+  // A withdraw that fails does not change the state, so balance commutes
+  // with it in this state.
+  EXPECT_TRUE(forward_commutes<BankAccountAdt>(2, account::balance(),
+                                               account::withdraw(5)));
+}
+
+// ----------------------------------------------------------- queue (§5.1)
+
+TEST(ForwardCommutes, EqualEnqueuesCommute) {
+  EXPECT_TRUE(forward_commutes<FifoQueueAdt>({}, fifo::enqueue(1),
+                                             fifo::enqueue(1)));
+}
+
+TEST(ForwardCommutes, DistinctEnqueuesConflict) {
+  EXPECT_FALSE(forward_commutes<FifoQueueAdt>({}, fifo::enqueue(1),
+                                              fifo::enqueue(2)));
+}
+
+TEST(ForwardCommutes, DequeueNotEnabledOnEmptyConflicts) {
+  EXPECT_FALSE(forward_commutes<FifoQueueAdt>({}, fifo::dequeue(),
+                                              fifo::enqueue(1)));
+}
+
+TEST(ForwardCommutes, DequeueEnqueueCommuteWhenQueueNonEmpty) {
+  // With an item already at the front, the dequeue takes it in either
+  // order and the enqueue lands at the back: they commute in this state
+  // (which is exactly why the hybrid queue lets them overlap).
+  EXPECT_TRUE(forward_commutes<FifoQueueAdt>({5}, fifo::dequeue(),
+                                             fifo::enqueue(6)));
+}
+
+TEST(ForwardCommutes, DequeueDequeueConflictWithDistinctItems) {
+  // Two dequeues of distinct items are order-sensitive: who gets 5?
+  EXPECT_FALSE(forward_commutes<FifoQueueAdt>({5, 6}, fifo::dequeue(),
+                                              fifo::dequeue()));
+}
+
+// ------------------------------------------------------------------ set
+
+TEST(ForwardCommutes, SetInsertsCommuteEvenSameElement) {
+  EXPECT_TRUE(
+      forward_commutes<IntSetAdt>({}, intset::insert(3), intset::insert(3)));
+}
+
+TEST(ForwardCommutes, MemberInsertStateDependent) {
+  // If 3 is already present, inserting it again does not change the
+  // membership answer: they commute in this state...
+  EXPECT_TRUE(forward_commutes<IntSetAdt>({3}, intset::member(3),
+                                          intset::insert(3)));
+  // ...but not when 3 is absent.
+  EXPECT_FALSE(
+      forward_commutes<IntSetAdt>({}, intset::member(3), intset::insert(3)));
+}
+
+TEST(ForwardCommutes, DeleteAbsentCommutesWithMember) {
+  EXPECT_TRUE(
+      forward_commutes<IntSetAdt>({}, intset::member(3), intset::del(3)));
+}
+
+// -------------------------------------------------------------- counter
+
+TEST(ForwardCommutes, IncrementsNeverCommute) {
+  EXPECT_FALSE(
+      forward_commutes<CounterAdt>(0, counter::increment(), counter::increment()));
+  EXPECT_FALSE(
+      forward_commutes<CounterAdt>(7, counter::increment(), counter::increment()));
+}
+
+// ------------------------------------------- nondeterministic bag
+
+TEST(ForwardCommutes, BagRemovesCommuteWithTwoElements) {
+  BagAdt::State s;
+  s[1] = 1;
+  s[2] = 1;
+  // Either order can produce (1,2) or (2,1) with the same final empty
+  // bag: the outcome *sets* coincide.
+  EXPECT_TRUE(forward_commutes<BagAdt>(s, bag::remove(), bag::remove()));
+}
+
+TEST(ForwardCommutes, BagRemovesConflictWithOneElement) {
+  BagAdt::State s;
+  s[1] = 1;
+  EXPECT_FALSE(forward_commutes<BagAdt>(s, bag::remove(), bag::remove()));
+}
+
+TEST(ForwardCommutes, BagInsertRemoveConflictOnEmpty) {
+  EXPECT_FALSE(forward_commutes<BagAdt>({}, bag::insert(1), bag::remove()));
+}
+
+// -------------------------------------------- virtual-interface version
+
+TEST(ForwardCommutesVirtual, AgreesWithTemplate) {
+  auto spec = make_spec("bank_account");
+  auto s0 = spec->initial_state();
+  // Advance to balance 10.
+  auto next = s0->step(op("deposit", 10));
+  ASSERT_EQ(next.size(), 1u);
+  const auto& s10 = *next.front().state;
+  EXPECT_TRUE(forward_commutes(s10, account::withdraw(4), account::withdraw(3)));
+  EXPECT_FALSE(forward_commutes(s10, account::withdraw(7), account::withdraw(6)));
+}
+
+TEST(ForwardCommutesVirtual, DisabledOpsConflict) {
+  auto spec = make_spec("fifo_queue");
+  auto s0 = spec->initial_state();
+  EXPECT_FALSE(forward_commutes(*s0, fifo::dequeue(), fifo::dequeue()));
+}
+
+// Property: the static table implies state-dependent commutativity on a
+// sample of states (static_commutes is the ∀-state approximation).
+TEST(ForwardCommutes, StaticTableIsSoundForAccount) {
+  const std::vector<Operation> ops = {account::deposit(3), account::deposit(8),
+                                      account::withdraw(2),
+                                      account::withdraw(9), account::balance()};
+  for (std::int64_t balance : {0, 1, 5, 10, 50}) {
+    for (const auto& p : ops) {
+      for (const auto& q : ops) {
+        if (BankAccountAdt::static_commutes(p, q)) {
+          EXPECT_TRUE(forward_commutes<BankAccountAdt>(balance, p, q))
+              << to_string(p) << " vs " << to_string(q) << " at " << balance;
+        }
+      }
+    }
+  }
+}
+
+TEST(ForwardCommutes, StaticTableIsSoundForSet) {
+  const std::vector<Operation> ops = {intset::insert(1), intset::insert(2),
+                                      intset::del(1),    intset::del(2),
+                                      intset::member(1), intset::member(2)};
+  const std::vector<IntSetAdt::State> states = {{}, {1}, {2}, {1, 2}};
+  for (const auto& s : states) {
+    for (const auto& p : ops) {
+      for (const auto& q : ops) {
+        if (IntSetAdt::static_commutes(p, q)) {
+          EXPECT_TRUE(forward_commutes<IntSetAdt>(s, p, q))
+              << to_string(p) << " vs " << to_string(q) << " at "
+              << IntSetAdt::describe(s);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace argus

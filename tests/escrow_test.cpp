@@ -1,0 +1,261 @@
+// EscrowAccount protocol tests: O(1) data-dependent admission with the
+// same observable behaviour as the generic dynamic object — plus the
+// cases where escrow is *more* permissive (beyond the generic object's
+// validation cap).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "check/atomicity.h"
+#include "common/rng.h"
+#include "core/escrow_account.h"
+#include "core/runtime.h"
+#include "hist/wellformed.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+std::shared_ptr<EscrowAccount> make_escrow(Runtime& rt,
+                                           std::int64_t initial = 0) {
+  auto obj = std::make_shared<EscrowAccount>(rt.allocate_object_id(),
+                                             "escrow", rt.tm(), rt.recorder());
+  rt.adopt(obj, std::make_shared<AdtSpec<BankAccountAdt>>());
+  if (initial > 0) {
+    auto t = rt.begin();
+    obj->invoke(*t, account::deposit(initial));
+    rt.commit(t);
+  }
+  return obj;
+}
+
+TEST(Escrow, BasicSemantics) {
+  Runtime rt;
+  auto acct = make_escrow(rt);
+  auto t = rt.begin();
+  EXPECT_EQ(acct->invoke(*t, account::deposit(10)), ok());
+  EXPECT_EQ(acct->invoke(*t, account::balance()), Value{10});
+  EXPECT_EQ(acct->invoke(*t, account::withdraw(4)), ok());
+  EXPECT_EQ(acct->invoke(*t, account::balance()), Value{6});
+  EXPECT_EQ(acct->invoke(*t, account::withdraw(7)),
+            Value{kInsufficientFunds});
+  rt.commit(t);
+  EXPECT_EQ(acct->committed_balance(), 6);
+}
+
+TEST(Escrow, AbortDiscardsEffects) {
+  Runtime rt;
+  auto acct = make_escrow(rt, 100);
+  auto t = rt.begin();
+  acct->invoke(*t, account::withdraw(40));
+  rt.abort(t);
+  EXPECT_EQ(acct->committed_balance(), 100);
+}
+
+TEST(Escrow, ConcurrentCoveredWithdrawsProceed) {
+  Runtime rt;
+  auto acct = make_escrow(rt, 10);
+  auto tb = rt.begin();
+  auto tc = rt.begin();
+  EXPECT_EQ(acct->invoke(*tb, account::withdraw(4)), ok());
+  EXPECT_EQ(acct->invoke(*tc, account::withdraw(3)), ok());  // no blocking
+  rt.commit(tc);
+  rt.commit(tb);
+  EXPECT_EQ(acct->committed_balance(), 3);
+
+  const auto verdict = check_dynamic_atomic(rt.system(), rt.history());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(Escrow, ManyConcurrentWithdrawsBeyondGenericCap) {
+  // The generic object's exact validation caps at kMaxExactValidation
+  // concurrent conflicting transactions; escrow has no such limit.
+  Runtime rt;
+  auto acct = make_escrow(rt, 100);
+  std::vector<std::shared_ptr<Transaction>> txns;
+  for (int i = 0; i < 10; ++i) {
+    auto t = rt.begin();
+    EXPECT_EQ(acct->invoke(*t, account::withdraw(5)), ok());  // all admitted
+    txns.push_back(std::move(t));
+  }
+  for (auto& t : txns) rt.commit(t);
+  EXPECT_EQ(acct->committed_balance(), 50);
+}
+
+TEST(Escrow, UncoveredWithdrawBlocks) {
+  Runtime rt;
+  auto acct = make_escrow(rt, 5);
+  auto tb = rt.begin();
+  auto tc = rt.begin();
+  EXPECT_EQ(acct->invoke(*tb, account::withdraw(4)), ok());
+  auto blocked = testutil::expect_blocks([&] {
+    EXPECT_EQ(acct->invoke(*tc, account::withdraw(3)),
+              Value{kInsufficientFunds});
+    rt.commit(tc);
+  });
+  rt.commit(tb);  // low becomes 1: 3 > high(1) => insufficient
+  testutil::join_within(blocked);
+  EXPECT_EQ(acct->committed_balance(), 1);
+}
+
+TEST(Escrow, DefinitelyInsufficientAnswersImmediately) {
+  // high = committed + others' pending deposits; nothing pending, so a
+  // too-large withdraw resolves to insufficient without waiting.
+  Runtime rt;
+  auto acct = make_escrow(rt, 5);
+  auto tb = rt.begin();  // keep another txn active with a covered withdraw
+  acct->invoke(*tb, account::withdraw(1));
+  auto tc = rt.begin();
+  EXPECT_EQ(acct->invoke(*tc, account::withdraw(50)),
+            Value{kInsufficientFunds});
+  rt.commit(tc);
+  rt.commit(tb);
+}
+
+TEST(Escrow, PendingDepositForcesWithdrawToWait) {
+  // committed 2, pending deposit 5: withdraw(3) is neither covered
+  // (low=2) nor definitely insufficient (high=7) — it must wait for the
+  // deposit to resolve.
+  Runtime rt;
+  auto acct = make_escrow(rt, 2);
+  auto tdep = rt.begin();
+  auto twdr = rt.begin();
+  acct->invoke(*tdep, account::deposit(5));
+  auto blocked = testutil::expect_blocks([&] {
+    EXPECT_EQ(acct->invoke(*twdr, account::withdraw(3)), ok());
+    rt.commit(twdr);
+  });
+  rt.commit(tdep);
+  testutil::join_within(blocked);
+  EXPECT_EQ(acct->committed_balance(), 4);
+}
+
+TEST(Escrow, DepositBlocksOnPendingBalanceObservation) {
+  Runtime rt;
+  auto acct = make_escrow(rt, 10);
+  auto tr = rt.begin();
+  EXPECT_EQ(acct->invoke(*tr, account::balance()), Value{10});
+  auto tw = rt.begin();
+  auto blocked = testutil::expect_blocks([&] {
+    EXPECT_EQ(acct->invoke(*tw, account::deposit(1)), ok());
+    rt.commit(tw);
+  });
+  rt.commit(tr);
+  testutil::join_within(blocked);
+  EXPECT_EQ(acct->committed_balance(), 11);
+}
+
+TEST(Escrow, DepositBlocksOnPendingInsufficientObservation) {
+  // tb recorded insufficient (50 > high=5); a deposit that could flip it
+  // must wait for tb to resolve.
+  Runtime rt;
+  auto acct = make_escrow(rt, 5);
+  auto tb = rt.begin();
+  EXPECT_EQ(acct->invoke(*tb, account::withdraw(50)),
+            Value{kInsufficientFunds});
+  auto td = rt.begin();
+  auto blocked = testutil::expect_blocks([&] {
+    EXPECT_EQ(acct->invoke(*td, account::deposit(100)), ok());
+    rt.commit(td);
+  });
+  rt.commit(tb);
+  testutil::join_within(blocked);
+  EXPECT_EQ(acct->committed_balance(), 105);
+}
+
+TEST(Escrow, BalanceBlocksOnPendingStateChange) {
+  Runtime rt;
+  auto acct = make_escrow(rt, 10);
+  auto tw = rt.begin();
+  acct->invoke(*tw, account::withdraw(4));
+  auto tr = rt.begin();
+  auto blocked = testutil::expect_blocks([&] {
+    EXPECT_EQ(acct->invoke(*tr, account::balance()), Value{6});
+    rt.commit(tr);
+  });
+  rt.commit(tw);
+  testutil::join_within(blocked);
+}
+
+TEST(Escrow, FailedWithdrawDoesNotBlockBalance) {
+  // A pending *failed* withdraw changes no state; balance proceeds.
+  Runtime rt;
+  auto acct = make_escrow(rt, 5);
+  auto tb = rt.begin();
+  EXPECT_EQ(acct->invoke(*tb, account::withdraw(50)),
+            Value{kInsufficientFunds});
+  auto tr = rt.begin();
+  EXPECT_EQ(acct->invoke(*tr, account::balance()), Value{5});
+  rt.commit(tr);
+  rt.commit(tb);
+}
+
+TEST(Escrow, RecoveryReplaysNetEffects) {
+  Runtime rt;
+  auto acct = make_escrow(rt, 100);
+  auto t = rt.begin();
+  acct->invoke(*t, account::withdraw(30));
+  acct->invoke(*t, account::withdraw(500));  // insufficient: no redo effect
+  acct->invoke(*t, account::deposit(5));
+  rt.commit(t);
+  rt.crash();
+  rt.recover();
+  EXPECT_EQ(acct->committed_balance(), 75);
+}
+
+// Property: random concurrent escrow workloads produce dynamic atomic
+// histories (checked against the formal definition).
+class EscrowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EscrowProperty, HistoriesAreDynamicAtomic) {
+  const std::uint64_t seed = GetParam();
+  Runtime rt;
+  auto acct = make_escrow(rt, 20);
+  acct->set_wait_timeout(std::chrono::milliseconds(500));
+
+  auto worker = [&](int index) {
+    SplitMix64 rng(seed * 31337ULL + static_cast<std::uint64_t>(index));
+    for (int k = 0; k < 2; ++k) {
+      auto txn = rt.begin();
+      try {
+        const int ops = static_cast<int>(rng.range(1, 3));
+        for (int i = 0; i < ops; ++i) {
+          switch (rng.below(3)) {
+            case 0:
+              acct->invoke(*txn, account::deposit(rng.range(1, 5)));
+              break;
+            case 1:
+              acct->invoke(*txn, account::withdraw(rng.range(1, 8)));
+              break;
+            default:
+              acct->invoke(*txn, account::balance());
+          }
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(rng.range(0, 200)));
+        }
+        if (rng.chance(1, 5)) {
+          rt.abort(txn);
+        } else {
+          rt.commit(txn);
+        }
+      } catch (const TransactionAborted&) {
+        rt.abort(txn);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+
+  const History h = rt.history();
+  const auto wf = check_well_formed(h);
+  ASSERT_TRUE(wf.ok()) << wf.summary() << "\n" << h.to_string();
+  const auto verdict = check_dynamic_atomic(rt.system(), h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << h.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscrowProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace argus

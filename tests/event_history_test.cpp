@@ -1,0 +1,288 @@
+// Unit tests for the history layer: events, projections, perm, precedes,
+// equivalence, serial order, timestamps. The §2/§3/§4.1 definitions.
+#include <gtest/gtest.h>
+
+#include "hist/history.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+using namespace testutil;
+using intseq = std::vector<ActivityId>;
+
+TEST(Event, Printing) {
+  EXPECT_EQ(to_string(invoke(X, A, op("insert", 3))), "<insert(3),x,a>");
+  EXPECT_EQ(to_string(respond(X, A, Value{true})), "<true,x,a>");
+  EXPECT_EQ(to_string(respond(X, A, ok())), "<ok,x,a>");
+  EXPECT_EQ(to_string(commit(X, A)), "<commit,x,a>");
+  EXPECT_EQ(to_string(commit_at(X, A, 5)), "<commit(5),x,a>");
+  EXPECT_EQ(to_string(abort(X, C)), "<abort,x,c>");
+  EXPECT_EQ(to_string(initiate(Y, B, 2)), "<initiate(2),y,b>");
+}
+
+TEST(Event, TimestampPresence) {
+  EXPECT_FALSE(commit(X, A).has_timestamp());
+  EXPECT_TRUE(commit_at(X, A, 3).has_timestamp());
+  EXPECT_TRUE(initiate(X, A, 1).has_timestamp());
+}
+
+// The example computation from §2: a and b interleave on the set x.
+History section2_example() {
+  return hist({
+      invoke(X, A, op("insert", 3)),
+      invoke(X, B, op("member", 3)),
+      respond(X, A, ok()),
+      respond(X, B, Value{false}),
+      invoke(X, B, op("insert", 4)),
+      respond(X, B, ok()),
+      commit(X, B),
+      commit(X, A),
+  });
+}
+
+TEST(History, ProjectObject) {
+  History h = section2_example();
+  h.append(invoke(Y, A, op("increment")));
+  h.append(respond(Y, A, Value{1}));
+  EXPECT_EQ(h.project_object(X), section2_example());
+  EXPECT_EQ(h.project_object(Y).size(), 2u);
+}
+
+TEST(History, ProjectActivityPreservesOrder) {
+  const History h = section2_example();
+  const History hb = h.project_activity(B);
+  ASSERT_EQ(hb.size(), 5u);
+  EXPECT_EQ(hb.at(0).operation, op("member", 3));
+  EXPECT_EQ(hb.at(1).result, Value{false});
+  EXPECT_EQ(hb.at(4).kind, EventKind::kCommit);
+}
+
+TEST(History, PermKeepsOnlyCommitted) {
+  History h = section2_example();
+  h.append(invoke(X, C, op("delete", 3)));
+  h.append(respond(X, C, ok()));
+  h.append(abort(X, C));
+  const History p = h.perm();
+  EXPECT_EQ(p, section2_example());  // c's events vanish
+}
+
+TEST(History, PermDropsActiveActivities) {
+  History h;
+  h.append(invoke(X, A, op("insert", 1)));
+  h.append(respond(X, A, ok()));
+  // a never commits: perm is empty.
+  EXPECT_TRUE(h.perm().empty());
+}
+
+TEST(History, CommittedAndAbortedSets) {
+  History h = section2_example();
+  h.append(abort(X, C));
+  EXPECT_TRUE(h.committed().contains(A));
+  EXPECT_TRUE(h.committed().contains(B));
+  EXPECT_FALSE(h.committed().contains(C));
+  EXPECT_TRUE(h.aborted().contains(C));
+}
+
+TEST(History, ActivitiesInFirstAppearanceOrder) {
+  const History h = section2_example();
+  EXPECT_EQ(h.activities(), (intseq{A, B}));
+}
+
+// §4.1's first precedes example: a commits, then b invokes and the
+// invocation terminates — precedes(h) is empty because b's response does
+// not come after a's commit... (paper: the first sequence has an empty
+// precedes, the second contains <a,b>).
+TEST(Precedes, EmptyWhenResponsePrecedesCommit) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      invoke(X, B, op("member", 3)),
+      respond(X, A, ok()),
+      respond(X, B, Value{false}),
+      commit(X, A),
+      commit(X, B),
+  });
+  EXPECT_TRUE(h.precedes().empty());
+}
+
+TEST(Precedes, PairWhenResponseFollowsCommit) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit(X, B),
+  });
+  const auto rel = h.precedes();
+  EXPECT_TRUE(rel.contains(A, B));
+  EXPECT_FALSE(rel.contains(B, A));
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(Precedes, InvocationBeforeCommitDoesNotCount) {
+  // b invokes before a's commit but terminates after: pair exists (the
+  // definition is about termination).
+  const History h = hist({
+      invoke(X, B, op("member", 3)),
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      respond(X, B, Value{false}),
+  });
+  EXPECT_TRUE(h.precedes().contains(A, B));
+}
+
+TEST(Precedes, ConsistencyWithOrders) {
+  PrecedesRelation rel;
+  rel.add(B, C);
+  EXPECT_TRUE(rel.consistent_with({A, B, C}));
+  EXPECT_TRUE(rel.consistent_with({B, A, C}));
+  EXPECT_TRUE(rel.consistent_with({B, C, A}));
+  EXPECT_FALSE(rel.consistent_with({C, B, A}));
+  EXPECT_FALSE(rel.consistent_with({A, C, B}));
+}
+
+TEST(Precedes, LinearExtensions) {
+  PrecedesRelation rel;
+  rel.add(B, C);
+  const auto orders = rel.linear_extensions({A, B, C});
+  EXPECT_EQ(orders.size(), 3u);  // abc, bac, bca
+  for (const auto& order : orders) {
+    EXPECT_TRUE(rel.consistent_with(order));
+  }
+}
+
+TEST(Precedes, LinearExtensionsUnconstrained) {
+  const PrecedesRelation rel;
+  EXPECT_EQ(rel.linear_extensions({A, B, C}).size(), 6u);
+}
+
+TEST(Precedes, RestrictedTo) {
+  PrecedesRelation rel;
+  rel.add(A, B);
+  rel.add(B, C);
+  const auto sub = rel.restricted_to({A, B});
+  EXPECT_TRUE(sub.contains(A, B));
+  EXPECT_FALSE(sub.contains(B, C));
+  EXPECT_EQ(sub.size(), 1u);
+}
+
+TEST(Precedes, Acyclic) {
+  PrecedesRelation rel;
+  rel.add(A, B);
+  rel.add(B, C);
+  EXPECT_TRUE(rel.acyclic({A, B, C}));
+  rel.add(C, A);
+  EXPECT_FALSE(rel.acyclic({A, B, C}));
+}
+
+TEST(Precedes, SelfPairsIgnored) {
+  PrecedesRelation rel;
+  rel.add(A, A);
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(History, EquivalenceSameViews) {
+  const History h = section2_example();
+  // The serial sequence with a first is equivalent to h.
+  const History serial = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{false}),
+      invoke(X, B, op("insert", 4)),
+      respond(X, B, ok()),
+      commit(X, B),
+  });
+  EXPECT_TRUE(h.equivalent(serial));
+  EXPECT_TRUE(serial.equivalent(h));
+}
+
+TEST(History, EquivalenceRejectsDifferentResults) {
+  History h = section2_example();
+  History k = section2_example();
+  // Flip b's member result.
+  History k2;
+  for (const Event& e : k.events()) {
+    Event copy = e;
+    if (copy.kind == EventKind::kRespond && copy.activity == B &&
+        copy.result == Value{false}) {
+      copy.result = Value{true};
+    }
+    k2.append(copy);
+  }
+  EXPECT_FALSE(h.equivalent(k2));
+}
+
+TEST(History, EquivalenceRequiresSameActivities) {
+  const History h = section2_example();
+  EXPECT_FALSE(h.equivalent(h.project_activity(A)));
+}
+
+TEST(History, SerialDetection) {
+  const History interleaved = section2_example();
+  EXPECT_FALSE(interleaved.is_serial());
+  const History serial = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit(X, B),
+  });
+  EXPECT_TRUE(serial.is_serial());
+  EXPECT_EQ(serial.serial_order(), (intseq{A, B}));
+  EXPECT_EQ(interleaved.serial_order(), std::nullopt);
+}
+
+TEST(History, SerialRejectsResumedActivity) {
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      invoke(X, B, op("insert", 2)),
+      respond(X, B, ok()),
+      commit(X, A),  // a resumes after b ran: not serial
+  });
+  EXPECT_FALSE(h.is_serial());
+}
+
+TEST(History, TimestampExtraction) {
+  const History h = hist({
+      initiate(X, A, 7),
+      invoke(X, A, op("member", 1)),
+      respond(X, A, Value{false}),
+      commit(X, A),
+      commit_at(X, B, 3),
+  });
+  EXPECT_EQ(h.timestamp_of(A), 7u);
+  EXPECT_EQ(h.timestamp_of(B), 3u);
+  EXPECT_EQ(h.timestamp_of(C), std::nullopt);
+  EXPECT_EQ(h.timestamp_order(), (intseq{B, A}));
+}
+
+TEST(History, UpdatesProjection) {
+  History h = section2_example();
+  h.append(initiate(X, R, 9));
+  h.append(invoke(X, R, op("member", 3)));
+  h.append(respond(X, R, Value{true}));
+  const History u = h.updates({R});
+  EXPECT_EQ(u, section2_example());
+}
+
+TEST(History, ThenConcatenates) {
+  const History h1 = hist({invoke(X, A, op("insert", 1))});
+  const History h2 = hist({respond(X, A, ok())});
+  const History joined = h1.then(h2);
+  EXPECT_EQ(joined.size(), 2u);
+  EXPECT_EQ(joined.at(1).kind, EventKind::kRespond);
+}
+
+TEST(History, ToStringMatchesPaperNotation) {
+  const History h = hist({invoke(X, A, op("insert", 3)), respond(X, A, ok())});
+  EXPECT_EQ(h.to_string(), "<insert(3),x,a>\n<ok,x,a>\n");
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,219 @@
+// HybridBag ("semiqueue") tests: nondeterminism as a concurrency lever
+// (§1's [Weihl & Liskov 83] point), claims discipline, snapshots,
+// recovery, and formal hybrid-atomicity of recorded histories.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "check/atomicity.h"
+#include "common/rng.h"
+#include "core/runtime.h"
+#include "hist/wellformed.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+TEST(HybridBag, InsertRemoveRoundTrip) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto t1 = rt.begin();
+  bag->invoke(*t1, bag::insert(5));
+  bag->invoke(*t1, bag::insert(7));
+  rt.commit(t1);
+  auto t2 = rt.begin();
+  const auto a = bag->invoke(*t2, bag::remove()).as_int();
+  const auto b = bag->invoke(*t2, bag::remove()).as_int();
+  rt.commit(t2);
+  EXPECT_TRUE((a == 5 && b == 7) || (a == 7 && b == 5));
+  EXPECT_TRUE(bag->committed_contents().empty());
+}
+
+TEST(HybridBag, ConcurrentRemoversDoNotConflict) {
+  // THE point of the type: two concurrent removers claim different
+  // instances and neither blocks — a FIFO queue would serialize them.
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto setup = rt.begin();
+  bag->invoke(*setup, bag::insert(1));
+  bag->invoke(*setup, bag::insert(2));
+  rt.commit(setup);
+
+  auto ta = rt.begin();
+  auto tb = rt.begin();
+  const auto got_a = bag->invoke(*ta, bag::remove()).as_int();  // no block
+  const auto got_b = bag->invoke(*tb, bag::remove()).as_int();  // no block
+  EXPECT_NE(got_a, got_b);  // disjoint claims
+  rt.commit(tb);
+  rt.commit(ta);
+  EXPECT_TRUE(bag->committed_contents().empty());
+
+  const auto verdict = check_hybrid_atomic(rt.system(), rt.history());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(HybridBag, DuplicateInstancesClaimedSeparately) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto setup = rt.begin();
+  bag->invoke(*setup, bag::insert(9));
+  bag->invoke(*setup, bag::insert(9));
+  rt.commit(setup);
+
+  auto ta = rt.begin();
+  auto tb = rt.begin();
+  EXPECT_EQ(bag->invoke(*ta, bag::remove()), Value{9});
+  EXPECT_EQ(bag->invoke(*tb, bag::remove()), Value{9});  // second instance
+  rt.commit(ta);
+  rt.commit(tb);
+  EXPECT_TRUE(bag->committed_contents().empty());
+}
+
+TEST(HybridBag, RemoverWaitsWhenAllInstancesClaimed) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto setup = rt.begin();
+  bag->invoke(*setup, bag::insert(1));
+  rt.commit(setup);
+
+  auto ta = rt.begin();
+  EXPECT_EQ(bag->invoke(*ta, bag::remove()), Value{1});
+  auto tb = rt.begin();
+  auto blocked = testutil::expect_blocks([&] {
+    // After ta aborts, the instance is unclaimed again.
+    EXPECT_EQ(bag->invoke(*tb, bag::remove()), Value{1});
+    rt.commit(tb);
+  });
+  rt.abort(ta);
+  testutil::join_within(blocked);
+  EXPECT_TRUE(bag->committed_contents().empty());
+}
+
+TEST(HybridBag, RemoverWaitsForCommittedInsert) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto producer = rt.begin();
+  bag->invoke(*producer, bag::insert(4));  // tentative: not removable
+  auto consumer = rt.begin();
+  auto blocked = testutil::expect_blocks([&] {
+    EXPECT_EQ(bag->invoke(*consumer, bag::remove()), Value{4});
+    rt.commit(consumer);
+  });
+  rt.commit(producer);
+  testutil::join_within(blocked);
+}
+
+TEST(HybridBag, AbortReleasesClaimsAndInserts) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto setup = rt.begin();
+  bag->invoke(*setup, bag::insert(1));
+  rt.commit(setup);
+
+  auto t = rt.begin();
+  bag->invoke(*t, bag::insert(2));
+  EXPECT_EQ(bag->invoke(*t, bag::remove()), Value{1});
+  rt.abort(t);
+  const auto contents = bag->committed_contents();
+  EXPECT_EQ(contents.size(), 1u);
+  EXPECT_EQ(contents.at(1), 1);
+}
+
+TEST(HybridBag, ReadOnlySizeSnapshot) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto t1 = rt.begin();
+  bag->invoke(*t1, bag::insert(1));
+  rt.commit(t1);
+
+  auto reader = rt.begin_read_only();
+  auto t2 = rt.begin();
+  bag->invoke(*t2, bag::insert(2));
+  rt.commit(t2);
+  EXPECT_EQ(bag->invoke(*reader, bag::size()), Value{1});  // snapshot below t
+  rt.commit(reader);
+}
+
+TEST(HybridBag, UpdateSizeRejected) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto t = rt.begin();
+  EXPECT_THROW(bag->invoke(*t, bag::size()), UsageError);
+  rt.abort(t);
+}
+
+TEST(HybridBag, RecoveryRebuildsContents) {
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  auto t1 = rt.begin();
+  bag->invoke(*t1, bag::insert(1));
+  bag->invoke(*t1, bag::insert(2));
+  rt.commit(t1);
+  auto t2 = rt.begin();
+  bag->invoke(*t2, bag::remove());
+  rt.commit(t2);
+  const auto before = bag->committed_contents();
+
+  rt.crash();
+  rt.recover();
+  EXPECT_EQ(bag->committed_contents(), before);
+}
+
+class HybridBagProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridBagProperty, HistoriesAreHybridAtomic) {
+  const std::uint64_t seed = GetParam();
+  Runtime rt;
+  auto bag = rt.create_hybrid_bag("b");
+  bag->set_wait_timeout(std::chrono::milliseconds(500));
+  {
+    auto t = rt.begin();
+    for (int i = 0; i < 6; ++i) bag->invoke(*t, bag::insert(i % 3));
+    rt.commit(t);
+  }
+
+  std::mutex ro_mu;
+  std::unordered_set<ActivityId> read_only;
+  auto worker = [&](int index) {
+    SplitMix64 rng(seed * 6151ULL + static_cast<std::uint64_t>(index));
+    for (int k = 0; k < 2; ++k) {
+      const bool ro = rng.chance(1, 4);
+      auto txn = ro ? rt.begin_read_only() : rt.begin();
+      if (ro) {
+        const std::scoped_lock lock(ro_mu);
+        read_only.insert(txn->id());
+      }
+      try {
+        if (ro) {
+          bag->invoke(*txn, bag::size());
+        } else if (rng.chance(1, 2)) {
+          bag->invoke(*txn, bag::insert(rng.range(0, 4)));
+        } else {
+          bag->invoke(*txn, bag::remove());
+        }
+        if (!ro && rng.chance(1, 5)) {
+          rt.abort(txn);
+        } else {
+          rt.commit(txn);
+        }
+      } catch (const TransactionAborted&) {
+        rt.abort(txn);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+
+  const History h = rt.history();
+  const auto wf = check_well_formed_hybrid(h, read_only);
+  ASSERT_TRUE(wf.ok()) << wf.summary() << "\n" << h.to_string();
+  const auto verdict = check_hybrid_atomic(rt.system(), h);
+  EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << h.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridBagProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,132 @@
+// Reproduction of the paper's modularity thesis from the *negative* side.
+//
+// §5.2/§6: "programmers of objects can verify that atomicity is preserved
+// without knowing what other objects are in the system; they need know
+// only what local atomicity property is used throughout the system." The
+// qualifier is load-bearing: dynamic and static atomicity are
+// *incompatible* — each object can satisfy its own property while the
+// computation as a whole is not atomic, because the two properties pin
+// different serialization orders (dynamic: an order extending precedes;
+// static: initiation-timestamp order). This test constructs exactly such
+// a computation with our runtime objects, then shows the same schedule is
+// atomic when the system is protocol-uniform.
+#include <gtest/gtest.h>
+
+#include "check/atomicity.h"
+#include "core/runtime.h"
+#include "spec/adts/int_set.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+TEST(ProtocolMixing, DynamicPlusStaticViolatesGlobalAtomicity) {
+  Runtime rt;
+  auto x_static = rt.create_static<IntSetAdt>("x");
+  auto y_dynamic = rt.create_dynamic<IntSetAdt>("y");
+
+  // A begins first (smaller initiation timestamp), B second.
+  auto ta = rt.begin();
+  auto tb = rt.begin();
+  ASSERT_LT(ta->start_ts(), tb->start_ts());
+
+  // B inserts at both objects and commits.
+  y_dynamic->invoke(*tb, intset::insert(5));
+  x_static->invoke(*tb, intset::insert(1));
+  rt.commit(tb);
+
+  // A reads B's committed insert at the dynamic object: precedes <B,A>,
+  // so the dynamic side serializes B before A...
+  EXPECT_EQ(y_dynamic->invoke(*ta, intset::member(5)), Value{true});
+  // ...but at the static object A's timestamp precedes B's, so A reads
+  // the state *below* B's insert: the static side serializes A before B.
+  EXPECT_EQ(x_static->invoke(*ta, intset::member(1)), Value{false});
+  rt.commit(ta);
+
+  const History h = rt.history();
+
+  // Each object's projection satisfies its own property...
+  SystemSpec sys_x;
+  sys_x.add_object(x_static->id(), "int_set");
+  EXPECT_TRUE(check_static_atomic(sys_x, h.project_object(x_static->id())).ok);
+  SystemSpec sys_y;
+  sys_y.add_object(y_dynamic->id(), "int_set");
+  EXPECT_TRUE(
+      check_dynamic_atomic(sys_y, h.project_object(y_dynamic->id())).ok);
+
+  // ...but the computation as a whole is NOT atomic: A's views pin B<A at
+  // y and A<B at x simultaneously.
+  const auto verdict = check_atomic(rt.system(), h);
+  EXPECT_FALSE(verdict.ok) << verdict.explanation << "\n" << h.to_string();
+}
+
+TEST(ProtocolMixing, UniformDynamicSameScheduleIsAtomic) {
+  Runtime rt;
+  auto x = rt.create_dynamic<IntSetAdt>("x");
+  auto y = rt.create_dynamic<IntSetAdt>("y");
+
+  auto ta = rt.begin();
+  auto tb = rt.begin();
+  y->invoke(*tb, intset::insert(5));
+  x->invoke(*tb, intset::insert(1));
+  rt.commit(tb);
+
+  EXPECT_EQ(y->invoke(*ta, intset::member(5)), Value{true});
+  // Under a uniform dynamic system A sees B's insert at x too: both
+  // objects serialize B before A.
+  EXPECT_EQ(x->invoke(*ta, intset::member(1)), Value{true});
+  rt.commit(ta);
+
+  const auto verdict = check_atomic(rt.system(), rt.history());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  const auto dyn = check_dynamic_atomic(rt.system(), rt.history());
+  EXPECT_TRUE(dyn.ok) << dyn.explanation;
+}
+
+TEST(ProtocolMixing, UniformStaticSameScheduleIsAtomic) {
+  Runtime rt;
+  auto x = rt.create_static<IntSetAdt>("x");
+  auto y = rt.create_static<IntSetAdt>("y");
+
+  auto ta = rt.begin();
+  auto tb = rt.begin();
+  y->invoke(*tb, intset::insert(5));
+  x->invoke(*tb, intset::insert(1));
+  rt.commit(tb);
+
+  // Under a uniform static system A (earlier timestamp) reads below B at
+  // BOTH objects: a consistent serialization A before B.
+  EXPECT_EQ(y->invoke(*ta, intset::member(5)), Value{false});
+  EXPECT_EQ(x->invoke(*ta, intset::member(1)), Value{false});
+  rt.commit(ta);
+
+  const auto verdict = check_atomic(rt.system(), rt.history());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  const auto st = check_static_atomic(rt.system(), rt.history());
+  EXPECT_TRUE(st.ok) << st.explanation;
+}
+
+TEST(ProtocolMixing, HybridPlusDynamicUpdatesAreCompatibleHere) {
+  // Hybrid processes updates with the dynamic protocol and stamps them at
+  // commit; for update-only computations the two serialize identically,
+  // so this particular mix stays atomic. (This is an observation about
+  // our runtime pair, not a general compatibility theorem.)
+  Runtime rt;
+  auto x = rt.create_hybrid<IntSetAdt>("x");
+  auto y = rt.create_dynamic<IntSetAdt>("y");
+
+  auto ta = rt.begin();
+  auto tb = rt.begin();
+  y->invoke(*tb, intset::insert(5));
+  x->invoke(*tb, intset::insert(1));
+  rt.commit(tb);
+  EXPECT_EQ(y->invoke(*ta, intset::member(5)), Value{true});
+  EXPECT_EQ(x->invoke(*ta, intset::member(1)), Value{true});
+  rt.commit(ta);
+
+  const auto verdict = check_atomic(rt.system(), rt.history());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+}  // namespace
+}  // namespace argus

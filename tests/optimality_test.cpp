@@ -1,0 +1,221 @@
+// Executable reproduction of the §4.1 optimality construction.
+//
+// The proof that no local atomicity property beats dynamic atomicity goes
+// through a gadget: for any history h_x at x that is atomic but not
+// dynamic atomic — i.e. perm(h_x) fails to serialize in some
+// precedes-consistent order T — build the counter object y whose serial
+// sequences pin the serialization order exactly, give y the history h_y
+// in which the committed activities run in order T, and interleave. Each
+// object's history is fine by its own lights (h_y is even *serial*), but
+// the combined computation serializes nowhere: at y only T works, at x
+// anything but T works. We run that construction concretely.
+#include <gtest/gtest.h>
+
+#include "check/atomicity.h"
+#include "hist/wellformed.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+using namespace testutil;
+using intseq = std::vector<ActivityId>;
+
+// The §4.1 history at x: atomic, but perm(h_x) is serializable ONLY in
+// a-b-c while precedes(h_x) = {<b,c>} also demands b-a-c and b-c-a.
+History h_x() {
+  return hist({
+      invoke(X, A, op("member", 3)),
+      invoke(X, B, op("insert", 3)),
+      respond(X, B, ok()),
+      respond(X, A, Value{false}),
+      invoke(X, C, op("member", 3)),
+      commit(X, B),
+      respond(X, C, Value{true}),
+      commit(X, A),
+      commit(X, C),
+  });
+}
+
+// The gadget h_y: the counter runs the committed activities serially in
+// the order T = b-a-c (a precedes-consistent order in which x cannot
+// serialize). Increment results pin exactly this order.
+History h_y() {
+  return hist({
+      invoke(Y, B, op("increment")),
+      respond(Y, B, Value{1}),
+      commit(Y, B),
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{2}),
+      commit(Y, A),
+      invoke(Y, C, op("increment")),
+      respond(Y, C, Value{3}),
+      commit(Y, C),
+  });
+}
+
+SystemSpec gadget_system() {
+  SystemSpec sys;
+  sys.add_object(X, "int_set");
+  sys.add_object(Y, "counter");
+  return sys;
+}
+
+TEST(Optimality, XHistoryIsAtomicButNotDynamicAtomic) {
+  SystemSpec sys;
+  sys.add_object(X, "int_set");
+  EXPECT_TRUE(check_atomic(sys, h_x()).ok);
+  EXPECT_FALSE(check_dynamic_atomic(sys, h_x()).ok);
+  // perm(h_x) serializes only in a-b-c.
+  const auto orders = all_serialization_orders(sys, h_x().perm());
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders.front(), (intseq{A, B, C}));
+}
+
+TEST(Optimality, GadgetPinsExactlyTheBadOrder) {
+  SystemSpec sys;
+  sys.add_object(Y, "counter");
+  const auto orders = all_serialization_orders(sys, h_y());
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders.front(), (intseq{B, A, C}));
+  // h_y is itself dynamic atomic: it is serial, so precedes totally
+  // orders the activities and only that order is demanded.
+  const auto verdict = check_dynamic_atomic(sys, h_y());
+  EXPECT_TRUE(verdict.ok) << verdict.explanation;
+}
+
+TEST(Optimality, CombinedComputationIsNotAtomic) {
+  // Interleave so that h|x carries h_x's operations and results while
+  // h|y == h_y. Each activity stays sequential (its y-increment sits
+  // after its x-response and before its commits; §2 forbids invocations
+  // only after the activity has committed, so each activity's y-work
+  // goes before its first commit event).
+  History h;
+  h.append(invoke(X, A, op("member", 3)));
+  h.append(invoke(X, B, op("insert", 3)));
+  h.append(respond(X, B, ok()));
+  h.append(respond(X, A, Value{false}));
+  // b's y-increment (first in T), then b commits everywhere.
+  h.append(invoke(Y, B, op("increment")));
+  h.append(respond(Y, B, Value{1}));
+  h.append(invoke(X, C, op("member", 3)));
+  h.append(commit(X, B));
+  h.append(commit(Y, B));
+  h.append(respond(X, C, Value{true}));
+  // a's y-increment (second in T), then a commits everywhere.
+  h.append(invoke(Y, A, op("increment")));
+  h.append(respond(Y, A, Value{2}));
+  h.append(commit(X, A));
+  h.append(commit(Y, A));
+  // c's y-increment (third in T), then c commits everywhere.
+  h.append(invoke(Y, C, op("increment")));
+  h.append(respond(Y, C, Value{3}));
+  h.append(commit(X, C));
+  h.append(commit(Y, C));
+
+  const auto sys = gadget_system();
+  ASSERT_TRUE(check_well_formed(h).ok()) << check_well_formed(h).summary();
+
+  // Projections match the construction: x sees (a variant of) h_x with
+  // the same operations/results, y sees the pinned serial counter run.
+  const auto x_orders = all_serialization_orders(
+      [] {
+        SystemSpec s;
+        s.add_object(X, "int_set");
+        return s;
+      }(),
+      h.project_object(X).perm());
+  ASSERT_FALSE(x_orders.empty());
+  for (const auto& order : x_orders) {
+    EXPECT_NE(order, (intseq{B, A, C}));  // x can never serialize in T
+  }
+  const auto y_orders = all_serialization_orders(
+      [] {
+        SystemSpec s;
+        s.add_object(Y, "counter");
+        return s;
+      }(),
+      h.project_object(Y).perm());
+  ASSERT_EQ(y_orders.size(), 1u);
+  EXPECT_EQ(y_orders.front(), (intseq{B, A, C}));  // y only serializes in T
+
+  // The contradiction the proof needs: the whole computation is not
+  // atomic.
+  const auto verdict = check_atomic(sys, h);
+  EXPECT_FALSE(verdict.ok) << verdict.explanation;
+}
+
+// ------------------------------------------------------------------------
+// §4.2.2: "Static atomicity, like dynamic atomicity, is optimal. The
+// proof of optimality is similar." We run that similar construction: take
+// the §4.2.2 history at x that is atomic but NOT static atomic (its only
+// serialization order contradicts the timestamp order), pair it with a
+// counter y that runs the activities serially in timestamp order — a
+// perfectly static-atomic history — and combine. Each object satisfies
+// its own property's premises; the whole computation is not atomic.
+
+TEST(StaticOptimality, XHistoryAtomicButNotStaticAtomic) {
+  SystemSpec sys;
+  sys.add_object(X, "int_set");
+  // a (ts 2) reads member(3)=false; b (ts 1) then inserts 3. Only a-b
+  // serializes, but timestamp order is b-a.
+  const History hx = hist({
+      initiate(X, A, 2),
+      invoke(X, A, op("member", 3)),
+      respond(X, A, Value{false}),
+      commit(X, A),
+      initiate(X, B, 1),
+      invoke(X, B, op("insert", 3)),
+      respond(X, B, ok()),
+      commit(X, B),
+  });
+  EXPECT_TRUE(check_atomic(sys, hx).ok);
+  EXPECT_FALSE(check_static_atomic(sys, hx).ok);
+  const auto orders = all_serialization_orders(sys, hx.perm());
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders.front(), (intseq{A, B}));
+}
+
+TEST(StaticOptimality, CombinedComputationIsNotAtomic) {
+  SystemSpec sys;
+  sys.add_object(X, "int_set");
+  sys.add_object(Y, "counter");
+
+  // Interleave hx with the counter gadget running in timestamp order
+  // b-a: y's history is serial and consistent with the timestamps (the
+  // static property's premise), pinning serialization b-a.
+  History h;
+  h.append(initiate(X, A, 2));
+  h.append(initiate(Y, A, 2));
+  h.append(initiate(Y, B, 1));
+  h.append(initiate(X, B, 1));
+  h.append(invoke(X, A, op("member", 3)));
+  h.append(respond(X, A, Value{false}));
+  // b's counter increment first (timestamp order), then b's insert at x.
+  h.append(invoke(Y, B, op("increment")));
+  h.append(respond(Y, B, Value{1}));
+  h.append(invoke(X, B, op("insert", 3)));
+  h.append(respond(X, B, ok()));
+  h.append(commit(X, B));
+  h.append(commit(Y, B));
+  // a's counter increment second.
+  h.append(invoke(Y, A, op("increment")));
+  h.append(respond(Y, A, Value{2}));
+  h.append(commit(X, A));
+  h.append(commit(Y, A));
+
+  ASSERT_TRUE(check_well_formed_static(h).ok())
+      << check_well_formed_static(h).summary();
+
+  // y's projection is static atomic (serializable in timestamp order
+  // b-a); x's projection is not, and the combination serializes nowhere.
+  SystemSpec sys_y;
+  sys_y.add_object(Y, "counter");
+  EXPECT_TRUE(check_static_atomic(sys_y, h.project_object(Y)).ok);
+
+  const auto verdict = check_atomic(sys, h);
+  EXPECT_FALSE(verdict.ok) << verdict.explanation;
+}
+
+}  // namespace
+}  // namespace argus

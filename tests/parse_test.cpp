@@ -1,0 +1,158 @@
+// History text parser tests, including full round-trips through
+// History::to_string().
+#include <gtest/gtest.h>
+
+#include "check/random_history.h"
+#include "hist/parse.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+using namespace testutil;
+
+Event parse_one(const std::string& line) {
+  auto r = parse_event_line(line);
+  EXPECT_TRUE(r.history.has_value()) << r.error;
+  return r.history->at(0);
+}
+
+TEST(ParseEvent, Invocation) {
+  EXPECT_EQ(parse_one("<insert(3),x,a>"), invoke(X, A, op("insert", 3)));
+  EXPECT_EQ(parse_one("<put(1,2),y,b>"), invoke(Y, B, op("put", 1, 2)));
+  EXPECT_EQ(parse_one("<dequeue,x,c>"), invoke(X, C, op("dequeue")));
+  EXPECT_EQ(parse_one("<frobnicate(),x,a>"),
+            invoke(X, A, Operation{"frobnicate", {}}));
+}
+
+TEST(ParseEvent, Responses) {
+  EXPECT_EQ(parse_one("<ok,x,a>"), respond(X, A, ok()));
+  EXPECT_EQ(parse_one("<true,x,a>"), respond(X, A, Value{true}));
+  EXPECT_EQ(parse_one("<false,x,b>"), respond(X, B, Value{false}));
+  EXPECT_EQ(parse_one("<42,x,a>"), respond(X, A, Value{42}));
+  EXPECT_EQ(parse_one("<-7,x,a>"), respond(X, A, Value{-7}));
+  EXPECT_EQ(parse_one("<insufficient_funds,y,a>"),
+            respond(Y, A, Value{"insufficient_funds"}));
+}
+
+TEST(ParseEvent, Terminators) {
+  EXPECT_EQ(parse_one("<commit,x,a>"), commit(X, A));
+  EXPECT_EQ(parse_one("<abort,y,c>"), abort(Y, C));
+  EXPECT_EQ(parse_one("<commit(5),x,b>"), commit_at(X, B, 5));
+  EXPECT_EQ(parse_one("<initiate(2),x,r>"), initiate(X, R, 2));
+}
+
+TEST(ParseEvent, ActivityAndObjectNames) {
+  EXPECT_EQ(parse_one("<ok,obj7,t30>"),
+            respond(ObjectId{7}, ActivityId{30}, ok()));
+  EXPECT_EQ(parse_one("<ok,z,q>"),
+            respond(ObjectId{2}, ActivityId{'q' - 'a'}, ok()));
+}
+
+TEST(ParseEvent, Whitespace) {
+  EXPECT_EQ(parse_one("  <insert(3), x, a>  "),
+            invoke(X, A, op("insert", 3)));
+}
+
+TEST(ParseEvent, Errors) {
+  EXPECT_FALSE(parse_event_line("no brackets").history.has_value());
+  EXPECT_FALSE(parse_event_line("<only,two>").history.has_value());
+  EXPECT_FALSE(parse_event_line("<ok,BAD,a>").history.has_value());
+  EXPECT_FALSE(parse_event_line("<ok,x,BAD!>").history.has_value());
+  EXPECT_FALSE(parse_event_line("<commit(zero),x,a>").history.has_value());
+  EXPECT_FALSE(parse_event_line("<insert(3,x,a>").history.has_value());
+}
+
+TEST(ParseHistory, MultiLineWithCommentsAndBlanks) {
+  const std::string text = R"(
+# The paper's section 2 example
+<insert(3),x,a>
+<member(3),x,b>
+
+<ok,x,a>
+<false,x,b>
+<commit,x,a>
+<commit,x,b>
+)";
+  auto r = parse_history(text);
+  ASSERT_TRUE(r.history.has_value()) << r.error;
+  EXPECT_EQ(r.history->size(), 6u);
+  EXPECT_EQ(r.history->at(0), invoke(X, A, op("insert", 3)));
+}
+
+TEST(ParseHistory, ReportsLineNumber) {
+  auto r = parse_history("<ok,x,a>\nGARBAGE\n");
+  ASSERT_FALSE(r.history.has_value());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+}
+
+TEST(ParseHistory, RoundTripPlain) {
+  const History original = hist({
+      invoke(X, A, op("member", 3)),
+      invoke(X, B, op("insert", 3)),
+      respond(X, B, ok()),
+      respond(X, A, Value{false}),
+      invoke(X, C, op("dequeue")),
+      commit(X, B),
+      respond(X, C, Value{1}),
+      commit(X, A),
+      abort(X, C),
+  });
+  auto r = parse_history(original.to_string());
+  ASSERT_TRUE(r.history.has_value()) << r.error;
+  EXPECT_EQ(*r.history, original);
+}
+
+TEST(ParseHistory, RoundTripTimestamped) {
+  const History original = hist({
+      initiate(X, R, 1),
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit_at(X, A, 2),
+      invoke(X, R, op("member", 3)),
+      respond(X, R, Value{false}),
+      commit(X, R),
+  });
+  auto r = parse_history(original.to_string());
+  ASSERT_TRUE(r.history.has_value()) << r.error;
+  EXPECT_EQ(*r.history, original);
+}
+
+// Fuzz: random machine-generated histories must round-trip exactly.
+class ParseRoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParseRoundTripFuzz, RandomHistoriesRoundTrip) {
+  SystemSpec sys;
+  sys.add_object(X, "kv_store");
+  sys.add_object(Y, "bank_account");
+  RandomHistoryOptions options;
+  options.activities = 5;
+  options.ops_per_activity = 4;
+  options.abort_percent = 25;
+  options.seed = GetParam();
+  const History original = random_atomic_history(sys, options);
+  auto r = parse_history(original.to_string());
+  ASSERT_TRUE(r.history.has_value()) << r.error;
+  EXPECT_EQ(*r.history, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseRoundTripFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(ParseHistory, RoundTripKVAndAccount) {
+  const History original = hist({
+      invoke(Y, A, op("put", 1, 2)),
+      respond(Y, A, ok()),
+      invoke(Y, A, op("withdraw", 9)),
+      respond(Y, A, Value{"insufficient_funds"}),
+      invoke(Y, A, op("balance")),
+      respond(Y, A, Value{0}),
+      commit(Y, A),
+  });
+  auto r = parse_history(original.to_string());
+  ASSERT_TRUE(r.history.has_value()) << r.error;
+  EXPECT_EQ(*r.history, original);
+}
+
+}  // namespace
+}  // namespace argus

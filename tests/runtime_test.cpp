@@ -1,0 +1,124 @@
+// Runtime facade tests: object registry, recorder control, crash dooming,
+// and API misuse paths.
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "spec/adts/bank_account.h"
+#include "spec/adts/int_set.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+TEST(Runtime, ObjectRegistryLookup) {
+  Runtime rt;
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  EXPECT_EQ(rt.object(set->id()), set);
+  EXPECT_EQ(rt.objects().size(), 1u);
+  EXPECT_THROW((void)rt.object(ObjectId{999}), UsageError);
+}
+
+TEST(Runtime, AdoptRejectsDuplicateIds) {
+  Runtime rt;
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  EXPECT_THROW(rt.adopt(set, std::make_shared<AdtSpec<IntSetAdt>>()),
+               UsageError);
+}
+
+TEST(Runtime, SystemSpecMirrorsObjects) {
+  Runtime rt;
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  auto acct = rt.create_static<BankAccountAdt>("a");
+  EXPECT_TRUE(rt.system().has(set->id()));
+  EXPECT_TRUE(rt.system().has(acct->id()));
+  EXPECT_EQ(rt.system().spec_of(set->id()).type_name(), "int_set");
+  EXPECT_EQ(rt.system().spec_of(acct->id()).type_name(), "bank_account");
+}
+
+TEST(Runtime, RecordingDisabledYieldsEmptyHistory) {
+  Runtime rt(/*record_history=*/false);
+  EXPECT_EQ(rt.recorder(), nullptr);
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  auto t = rt.begin();
+  set->invoke(*t, intset::insert(1));
+  rt.commit(t);
+  EXPECT_TRUE(rt.history().empty());
+}
+
+TEST(Runtime, RecordingEnabledCapturesEverything) {
+  Runtime rt;
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  auto t = rt.begin();
+  set->invoke(*t, intset::insert(1));
+  rt.commit(t);
+  // invoke + respond + commit.
+  EXPECT_EQ(rt.history().size(), 3u);
+}
+
+TEST(Runtime, ObjectIdsAreSequentialAndDistinct) {
+  Runtime rt;
+  auto a = rt.create_dynamic<IntSetAdt>("a");
+  auto b = rt.create_static<IntSetAdt>("b");
+  auto c = rt.create_hybrid<IntSetAdt>("c");
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_NE(b->id(), c->id());
+  EXPECT_EQ(a->name(), "a");
+  EXPECT_EQ(b->name(), "b");
+  EXPECT_EQ(c->name(), "c");
+}
+
+TEST(Runtime, CrashDoomsOnlyActive) {
+  Runtime rt;
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  auto done = rt.begin();
+  set->invoke(*done, intset::insert(1));
+  rt.commit(done);
+  auto active = rt.begin();
+  set->invoke(*active, intset::insert(2));
+  rt.crash();
+  EXPECT_TRUE(active->doomed());
+  EXPECT_EQ(active->doom_reason(), AbortReason::kCrash);
+  EXPECT_EQ(done->state(), TxnState::kCommitted);
+  rt.abort(active);
+  rt.recover();
+  EXPECT_TRUE(set->committed_state().contains(1));
+  EXPECT_FALSE(set->committed_state().contains(2));
+}
+
+TEST(Runtime, RecoverWithEmptyLogResetsToInitial) {
+  Runtime rt;
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  rt.recover();  // nothing committed
+  EXPECT_TRUE(set->committed_state().empty());
+}
+
+TEST(Runtime, WaitTimeoutAllPropagates) {
+  Runtime rt;
+  auto q = rt.create_dynamic<IntSetAdt>("s");
+  rt.set_wait_timeout_all(std::chrono::milliseconds(30));
+  // Create a permanent conflict: t2 must time out quickly.
+  auto t1 = rt.begin();
+  q->invoke(*t1, intset::insert(1));
+  auto t2 = rt.begin();
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    q->invoke(*t2, intset::member(1));
+    FAIL() << "expected timeout abort";
+  } catch (const TransactionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kWaitTimeout);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+  rt.abort(t2);
+  rt.abort(t1);
+}
+
+TEST(Runtime, BeginReadOnlyConvenience) {
+  Runtime rt;
+  auto t = rt.begin_read_only();
+  EXPECT_TRUE(t->read_only());
+  rt.abort(t);
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,189 @@
+// Serial acceptability (§3's "acceptable" judgement): replaying recorded
+// event sequences through sequential specifications, including
+// nondeterministic ones.
+#include <gtest/gtest.h>
+
+#include "spec/adts/bank_account.h"
+#include "spec/adts/registry.h"
+#include "spec/serial.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+using namespace testutil;
+
+TEST(SerialAcceptable, EmptyHistory) {
+  auto spec = make_spec("int_set");
+  EXPECT_TRUE(serial_acceptable(*spec, History{}));
+}
+
+// §3's acceptable serial sequence for the set: insert(3) ok, member(3)
+// true, with commits interspersed.
+TEST(SerialAcceptable, PaperSetSequenceAccepted) {
+  auto spec = make_spec("int_set");
+  const History h = hist({
+      invoke(X, B, op("insert", 3)),
+      respond(X, B, ok()),
+      commit(X, B),
+      invoke(X, A, op("member", 3)),
+      respond(X, A, Value{true}),
+      commit(X, A),
+  });
+  EXPECT_TRUE(serial_acceptable(*spec, h));
+}
+
+// §3's unacceptable sequence: member(2) returns true on an initially
+// empty set.
+TEST(SerialAcceptable, PaperSetSequenceRejected) {
+  auto spec = make_spec("int_set");
+  const History h = hist({
+      invoke(X, A, op("member", 2)),
+      respond(X, A, Value{true}),
+      commit(X, A),
+  });
+  EXPECT_FALSE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, WrongResultRejected) {
+  auto spec = make_spec("bank_account");
+  const History h = hist({
+      invoke(X, A, op("deposit", 5)),
+      respond(X, A, ok()),
+      invoke(X, A, op("balance")),
+      respond(X, A, Value{6}),  // should be 5
+  });
+  EXPECT_FALSE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, AbnormalTerminationAccepted) {
+  auto spec = make_spec("bank_account");
+  const History h = hist({
+      invoke(X, A, op("withdraw", 5)),
+      respond(X, A, Value{kInsufficientFunds}),
+  });
+  EXPECT_TRUE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, DisabledOperationRejected) {
+  auto spec = make_spec("fifo_queue");
+  const History h = hist({
+      invoke(X, A, op("dequeue")),
+      respond(X, A, Value{1}),
+  });
+  EXPECT_FALSE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, PendingInvocationImposesNoConstraint) {
+  auto spec = make_spec("fifo_queue");
+  const History h = hist({
+      invoke(X, A, op("dequeue")),  // never terminates
+  });
+  EXPECT_TRUE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, ResponseWithoutInvocationRejected) {
+  auto spec = make_spec("int_set");
+  const History h = hist({respond(X, A, ok())});
+  EXPECT_FALSE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, CommitAbortInitiateIgnored) {
+  auto spec = make_spec("int_set");
+  const History h = hist({
+      initiate(X, A, 1),
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      abort(X, B),
+      commit(X, A),
+  });
+  EXPECT_TRUE(serial_acceptable(*spec, h));
+}
+
+// Nondeterminism: the recorded result selects the branch.
+TEST(SerialAcceptable, BagRemoveFollowsRecordedResult) {
+  auto spec = make_spec("bag");
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      invoke(X, A, op("insert", 2)),
+      respond(X, A, ok()),
+      invoke(X, A, op("remove")),
+      respond(X, A, Value{2}),  // chose 2
+      invoke(X, A, op("remove")),
+      respond(X, A, Value{1}),  // then 1
+  });
+  EXPECT_TRUE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, BagRemoveImpossibleResultRejected) {
+  auto spec = make_spec("bag");
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      invoke(X, A, op("remove")),
+      respond(X, A, Value{7}),  // 7 was never inserted
+  });
+  EXPECT_FALSE(serial_acceptable(*spec, h));
+}
+
+TEST(SerialAcceptable, BagBranchingStateTrackedCorrectly) {
+  // Insert {1,1,2}; remove -> 1; size must then be 2 regardless of which
+  // instance was removed (states reconverge).
+  auto spec = make_spec("bag");
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      invoke(X, A, op("insert", 2)),
+      respond(X, A, ok()),
+      invoke(X, A, op("remove")),
+      respond(X, A, Value{1}),
+      invoke(X, A, op("size")),
+      respond(X, A, Value{2}),
+  });
+  EXPECT_TRUE(serial_acceptable(*spec, h));
+}
+
+TEST(ReplayStates, ReturnsReachableStates) {
+  auto spec = make_spec("bag");
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      invoke(X, A, op("insert", 2)),
+      respond(X, A, ok()),
+      invoke(X, A, op("remove")),
+      respond(X, A, Value{1}),
+  });
+  auto init = spec->initial_state();
+  const auto states = replay_states(*init, h);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states.front()->describe(), "{2}");
+}
+
+TEST(ReplayStates, EmptyOnContradiction) {
+  auto spec = make_spec("counter");
+  const History h = hist({
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{5}),  // impossible from 0
+  });
+  auto init = spec->initial_state();
+  EXPECT_TRUE(replay_states(*init, h).empty());
+}
+
+TEST(SerialAcceptableFrom, StartsFromGivenState) {
+  auto spec = make_spec("counter");
+  auto s0 = spec->initial_state();
+  auto advanced = s0->step(op("increment"));
+  ASSERT_EQ(advanced.size(), 1u);
+  const History h = hist({
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{2}),  // valid from state 1, not from 0
+  });
+  EXPECT_TRUE(serial_acceptable_from(*advanced.front().state, h));
+  EXPECT_FALSE(serial_acceptable_from(*s0, h));
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,219 @@
+// Serializability of histories (§3): order-given checks, existential
+// search, Lemma 3's per-object reduction.
+#include <gtest/gtest.h>
+
+#include "check/serializability.h"
+#include "common/errors.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+using namespace testutil;
+using intseq = std::vector<ActivityId>;
+
+SystemSpec one_set() {
+  SystemSpec sys;
+  sys.add_object(X, "int_set");
+  return sys;
+}
+
+SystemSpec set_and_counter() {
+  SystemSpec sys;
+  sys.add_object(X, "int_set");
+  sys.add_object(Y, "counter");
+  return sys;
+}
+
+TEST(SerializationOf, ConcatenatesViews) {
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      invoke(X, B, op("insert", 2)),
+      respond(X, A, ok()),
+      respond(X, B, ok()),
+      commit(X, A),
+      commit(X, B),
+  });
+  const History serial = serialization_of(h, {B, A});
+  EXPECT_TRUE(serial.is_serial());
+  EXPECT_EQ(serial.serial_order(), (intseq{B, A}));
+  EXPECT_TRUE(serial.equivalent(h));
+}
+
+TEST(SerializationOf, MissingActivitiesAppended) {
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      respond(X, A, ok()),
+      invoke(X, B, op("insert", 2)),
+      respond(X, B, ok()),
+  });
+  const History serial = serialization_of(h, {B});
+  EXPECT_EQ(serial.serial_order(), (intseq{B, A}));
+}
+
+TEST(SerializableInOrder, InterleavedInsertsBothOrders) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      invoke(X, B, op("insert", 2)),
+      respond(X, A, ok()),
+      respond(X, B, ok()),
+      commit(X, A),
+      commit(X, B),
+  });
+  EXPECT_TRUE(serializable_in_order(sys, h, {A, B}));
+  EXPECT_TRUE(serializable_in_order(sys, h, {B, A}));
+}
+
+TEST(SerializableInOrder, ObservationPinsOrder) {
+  const auto sys = one_set();
+  // b observes a's insert: only a-b works.
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit(X, A),
+      commit(X, B),
+  });
+  EXPECT_TRUE(serializable_in_order(sys, h, {A, B}));
+  EXPECT_FALSE(serializable_in_order(sys, h, {B, A}));
+}
+
+TEST(FindSerializationOrder, FindsSomeOrder) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, B, op("member", 3)),
+      invoke(X, A, op("insert", 3)),
+      respond(X, B, Value{true}),  // b must come after a
+      respond(X, A, ok()),
+      commit(X, A),
+      commit(X, B),
+  });
+  const auto order = find_serialization_order(sys, h);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (intseq{A, B}));
+}
+
+TEST(FindSerializationOrder, NoneExists) {
+  const auto sys = one_set();
+  // a sees 3 absent then present without any intervening activity order
+  // that explains both b-inserted and a-observed-false: a reads false
+  // then true while only b inserts once — impossible serially for a
+  // single activity's view? Construct the §3 non-atomic example instead:
+  // member(2) true on empty set.
+  const History h = hist({
+      invoke(X, A, op("member", 2)),
+      respond(X, A, Value{true}),
+      commit(X, A),
+  });
+  EXPECT_FALSE(serializable(sys, h));
+  EXPECT_EQ(find_serialization_order(sys, h), std::nullopt);
+}
+
+TEST(Serializable, MultiObjectConsistencyRequired) {
+  const auto sys = set_and_counter();
+  // At x, b must follow a (member sees insert); at y, a must follow b
+  // (counter values). No single order works: Lemma 3's conjunction
+  // fails.
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      invoke(Y, B, op("increment")),
+      respond(Y, B, Value{1}),
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{2}),
+      commit(X, A),
+      commit(Y, A),
+      commit(X, B),
+      commit(Y, B),
+  });
+  EXPECT_FALSE(serializable(sys, h));
+}
+
+TEST(Serializable, MultiObjectConsistentOrderFound) {
+  const auto sys = set_and_counter();
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{1}),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      invoke(Y, B, op("increment")),
+      respond(Y, B, Value{2}),
+      commit(X, A),
+      commit(Y, A),
+      commit(X, B),
+      commit(Y, B),
+  });
+  const auto order = find_serialization_order(sys, h);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (intseq{A, B}));
+}
+
+TEST(AllSerializationOrders, CountsOrders) {
+  const auto sys = one_set();
+  const History h = hist({
+      invoke(X, A, op("insert", 1)),
+      invoke(X, B, op("insert", 2)),
+      invoke(X, C, op("member", 9)),
+      respond(X, A, ok()),
+      respond(X, B, ok()),
+      respond(X, C, Value{false}),
+      commit(X, A),
+      commit(X, B),
+      commit(X, C),
+  });
+  // Nothing observes anything: all 6 orders work.
+  EXPECT_EQ(all_serialization_orders(sys, h).size(), 6u);
+}
+
+TEST(AllSerializationOrders, EmptyHistoryHasEmptyOrder) {
+  const auto sys = one_set();
+  const auto orders = all_serialization_orders(sys, History{});
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_TRUE(orders.front().empty());
+}
+
+TEST(Serializable, CounterPinsExactlyOneOrder) {
+  // The optimality-proof object y: increment results expose the serial
+  // positions, so only one order is serializable.
+  SystemSpec sys;
+  sys.add_object(Y, "counter");
+  const History h = hist({
+      invoke(Y, B, op("increment")),
+      respond(Y, B, Value{1}),
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{2}),
+      invoke(Y, C, op("increment")),
+      respond(Y, C, Value{3}),
+      commit(Y, A),
+      commit(Y, B),
+      commit(Y, C),
+  });
+  const auto orders = all_serialization_orders(sys, h);
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders.front(), (intseq{B, A, C}));
+}
+
+TEST(SystemSpec, UnknownObjectThrows) {
+  SystemSpec sys;
+  EXPECT_THROW((void)sys.spec_of(X), UsageError);
+  sys.add_object(X, "int_set");
+  EXPECT_EQ(sys.spec_of(X).type_name(), "int_set");
+  EXPECT_TRUE(sys.has(X));
+  EXPECT_FALSE(sys.has(Y));
+}
+
+TEST(SystemSpec, ObjectsSorted) {
+  SystemSpec sys;
+  sys.add_object(Y, "counter");
+  sys.add_object(X, "int_set");
+  EXPECT_EQ(sys.objects(), (std::vector<ObjectId>{X, Y}));
+}
+
+}  // namespace
+}  // namespace argus

@@ -1,0 +1,138 @@
+// Unit tests for the common layer: Value, Operation, ids, rng.
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "common/ids.h"
+#include "common/operation.h"
+#include "common/rng.h"
+#include "common/value.h"
+
+namespace argus {
+namespace {
+
+TEST(Value, DefaultIsUnit) {
+  Value v;
+  EXPECT_TRUE(v.is_unit());
+  EXPECT_EQ(to_string(v), "ok");
+}
+
+TEST(Value, BoolRoundTrip) {
+  Value t{true};
+  Value f{false};
+  EXPECT_TRUE(t.is_bool());
+  EXPECT_TRUE(t.as_bool());
+  EXPECT_FALSE(f.as_bool());
+  EXPECT_EQ(to_string(t), "true");
+  EXPECT_EQ(to_string(f), "false");
+}
+
+TEST(Value, IntRoundTrip) {
+  Value v{42};
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(to_string(v), "42");
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v{"insufficient_funds"};
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "insufficient_funds");
+  EXPECT_EQ(to_string(v), "insufficient_funds");
+}
+
+TEST(Value, EqualityDistinguishesKinds) {
+  // bool true vs int 1 vs unit must all differ.
+  EXPECT_NE(Value{true}, Value{1});
+  EXPECT_NE(Value{Unit{}}, Value{0});
+  EXPECT_NE(Value{"1"}, Value{1});
+  EXPECT_EQ(Value{7}, Value{7});
+  EXPECT_EQ(Value{Unit{}}, ok());
+}
+
+TEST(Value, OrderingIsTotal) {
+  EXPECT_TRUE(Value{1} < Value{2} || Value{2} < Value{1});
+  EXPECT_FALSE(Value{3} < Value{3});
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW((void)Value{1}.as_bool(), std::bad_variant_access);
+  EXPECT_THROW((void)Value{true}.as_int(), std::bad_variant_access);
+}
+
+TEST(Operation, FactoryAndPrinting) {
+  EXPECT_EQ(to_string(op("dequeue")), "dequeue");
+  EXPECT_EQ(to_string(op("insert", 3)), "insert(3)");
+  EXPECT_EQ(to_string(op("put", 1, 2)), "put(1,2)");
+  EXPECT_EQ(to_string(op("f", 1, 2, 3)), "f(1,2,3)");
+}
+
+TEST(Operation, Equality) {
+  EXPECT_EQ(op("insert", 3), op("insert", 3));
+  EXPECT_NE(op("insert", 3), op("insert", 4));
+  EXPECT_NE(op("insert", 3), op("delete", 3));
+  EXPECT_NE(op("dequeue"), op("enqueue", 1));
+}
+
+TEST(Ids, ActivityPrinting) {
+  EXPECT_EQ(to_string(ActivityId{0}), "a");
+  EXPECT_EQ(to_string(ActivityId{1}), "b");
+  EXPECT_EQ(to_string(ActivityId{2}), "c");
+  EXPECT_EQ(to_string(ActivityId{30}), "t30");
+}
+
+TEST(Ids, ObjectPrinting) {
+  EXPECT_EQ(to_string(ObjectId{0}), "x");
+  EXPECT_EQ(to_string(ObjectId{1}), "y");
+  EXPECT_EQ(to_string(ObjectId{5}), "obj5");
+}
+
+TEST(Ids, StrongTyping) {
+  ActivityId a{3};
+  ActivityId b{3};
+  EXPECT_EQ(a, b);
+  EXPECT_LT(ActivityId{1}, ActivityId{2});
+  EXPECT_EQ(std::hash<ActivityId>{}(a), std::hash<ActivityId>{}(b));
+}
+
+TEST(AbortReason, Printing) {
+  EXPECT_EQ(to_string(AbortReason::kDeadlock), "deadlock");
+  EXPECT_EQ(to_string(AbortReason::kTimestampOrder), "timestamp-order");
+}
+
+TEST(TransactionAborted, CarriesContext) {
+  TransactionAborted e(ActivityId{2}, AbortReason::kDeadlock);
+  EXPECT_EQ(e.activity(), ActivityId{2});
+  EXPECT_EQ(e.reason(), AbortReason::kDeadlock);
+  EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 r1(42);
+  SplitMix64 r2(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r1.next(), r2.next());
+}
+
+TEST(Rng, RangeBounds) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BelowBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(rng.chance(1, 1));
+    EXPECT_FALSE(rng.chance(0, 10));
+  }
+}
+
+}  // namespace
+}  // namespace argus

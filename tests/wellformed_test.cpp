@@ -1,0 +1,261 @@
+// Well-formedness tests for the three event alphabets (§2, §4.2.1,
+// §4.3.1), including the paper's own ill-formed examples.
+#include <gtest/gtest.h>
+
+#include "hist/wellformed.h"
+#include "test_util.h"
+
+namespace argus {
+namespace {
+
+using namespace testutil;
+
+TEST(WellFormedPlain, EmptyHistoryOk) {
+  EXPECT_TRUE(check_well_formed(History{}).ok());
+}
+
+TEST(WellFormedPlain, SequentialActivityOk) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{1}),
+      commit(X, A),
+      commit(Y, A),
+  });
+  EXPECT_TRUE(check_well_formed(h).ok()) << check_well_formed(h).summary();
+}
+
+TEST(WellFormedPlain, OverlappingInvocationsRejected) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      invoke(Y, A, op("increment")),  // still waiting at x
+  });
+  const auto r = check_well_formed(h);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("pending"), std::string::npos);
+}
+
+TEST(WellFormedPlain, ResponseWithoutInvocationRejected) {
+  const History h = hist({respond(X, A, ok())});
+  EXPECT_FALSE(check_well_formed(h).ok());
+}
+
+TEST(WellFormedPlain, ResponseAtWrongObjectRejected) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(Y, A, ok()),
+  });
+  EXPECT_FALSE(check_well_formed(h).ok());
+}
+
+TEST(WellFormedPlain, CommitAndAbortRejected) {
+  const History h = hist({commit(X, A), abort(Y, A)});
+  EXPECT_FALSE(check_well_formed(h).ok());
+}
+
+TEST(WellFormedPlain, AbortThenCommitRejected) {
+  const History h = hist({abort(X, A), commit(X, A)});
+  EXPECT_FALSE(check_well_formed(h).ok());
+}
+
+TEST(WellFormedPlain, CommitWhileWaitingRejected) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      commit(X, A),
+  });
+  const auto r = check_well_formed(h);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("waiting"), std::string::npos);
+}
+
+TEST(WellFormedPlain, InvokeAfterCommitRejected) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),
+      invoke(X, A, op("insert", 4)),
+  });
+  EXPECT_FALSE(check_well_formed(h).ok());
+}
+
+TEST(WellFormedPlain, CommitAtMultipleObjectsOk) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      invoke(Y, A, op("increment")),
+      respond(Y, A, Value{1}),
+      commit(X, A),
+      commit(Y, A),
+  });
+  EXPECT_TRUE(check_well_formed(h).ok());
+}
+
+TEST(WellFormedPlain, AbortWhileWaitingOk) {
+  // The system may abort a blocked activity (e.g. a deadlock victim).
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      abort(X, A),
+  });
+  EXPECT_TRUE(check_well_formed(h).ok()) << check_well_formed(h).summary();
+}
+
+TEST(WellFormedPlain, InitiateNotInAlphabet) {
+  const History h = hist({initiate(X, A, 1)});
+  EXPECT_FALSE(check_well_formed(h).ok());
+}
+
+TEST(WellFormedPlain, TimestampedCommitNotInAlphabet) {
+  const History h = hist({commit_at(X, A, 1)});
+  EXPECT_FALSE(check_well_formed(h).ok());
+}
+
+// §4.2.1's well-formed example.
+TEST(WellFormedStatic, PaperExampleAccepted) {
+  const History h = hist({
+      initiate(X, A, 1),
+      invoke(X, A, op("member", 2)),
+      respond(X, A, Value{false}),
+      commit(X, A),
+  });
+  EXPECT_TRUE(check_well_formed_static(h).ok())
+      << check_well_formed_static(h).summary();
+}
+
+// §4.2.1's ill-formed example, which the paper rejects for three reasons:
+// a initiates with two timestamps, b reuses a's timestamp, and a invokes
+// at y before initiating there.
+TEST(WellFormedStatic, PaperCounterexampleRejectedForThreeReasons) {
+  const History h = hist({
+      initiate(X, A, 1),
+      invoke(Y, A, op("member", 2)),
+      respond(Y, A, Value{false}),
+      initiate(Y, A, 2),
+      initiate(Y, B, 1),
+      commit(X, A),
+  });
+  const auto r = check_well_formed_static(h);
+  ASSERT_FALSE(r.ok());
+  EXPECT_GE(r.violations.size(), 3u) << r.summary();
+}
+
+TEST(WellFormedStatic, InvokeBeforeInitiateRejected) {
+  const History h = hist({
+      invoke(X, A, op("member", 2)),
+      respond(X, A, Value{false}),
+  });
+  EXPECT_FALSE(check_well_formed_static(h).ok());
+}
+
+TEST(WellFormedStatic, PerObjectInitiationRequired) {
+  const History h = hist({
+      initiate(X, A, 1),
+      invoke(Y, A, op("member", 2)),  // initiated at x, not y
+      respond(Y, A, Value{false}),
+  });
+  EXPECT_FALSE(check_well_formed_static(h).ok());
+}
+
+TEST(WellFormedStatic, DuplicateTimestampRejected) {
+  const History h = hist({
+      initiate(X, A, 5),
+      initiate(X, B, 5),
+  });
+  EXPECT_FALSE(check_well_formed_static(h).ok());
+}
+
+TEST(WellFormedStatic, SameActivityConsistentTimestampOk) {
+  const History h = hist({
+      initiate(X, A, 5),
+      initiate(Y, A, 5),
+  });
+  EXPECT_TRUE(check_well_formed_static(h).ok());
+}
+
+// §4.3.1's well-formed hybrid example.
+TEST(WellFormedHybrid, PaperExampleAccepted) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit_at(X, A, 2),
+      initiate(X, R, 1),
+      invoke(X, R, op("member", 3)),
+      respond(X, R, Value{false}),
+      commit(X, R),
+  });
+  EXPECT_TRUE(check_well_formed_hybrid(h, {R}).ok())
+      << check_well_formed_hybrid(h, {R}).summary();
+}
+
+// §4.3.1's ill-formed hybrid example: commit timestamps contradict
+// precedes(h), and r reuses a's timestamp.
+TEST(WellFormedHybrid, PaperCounterexampleRejected) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit_at(X, A, 2),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),  // terminates after a's commit: <a,b>
+      commit_at(X, B, 1),          // but b's timestamp is below a's
+      initiate(X, R, 2),           // r reuses a's timestamp
+  });
+  const auto r = check_well_formed_hybrid(h, {R});
+  ASSERT_FALSE(r.ok());
+  EXPECT_GE(r.violations.size(), 2u) << r.summary();
+}
+
+TEST(WellFormedHybrid, UpdateMustCommitWithTimestamp) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit(X, A),  // update committing plainly
+  });
+  EXPECT_FALSE(check_well_formed_hybrid(h, {}).ok());
+}
+
+TEST(WellFormedHybrid, ReadOnlyMustCommitPlainly) {
+  const History h = hist({
+      initiate(X, R, 1),
+      invoke(X, R, op("member", 3)),
+      respond(X, R, Value{false}),
+      commit_at(X, R, 1),
+  });
+  EXPECT_FALSE(check_well_formed_hybrid(h, {R}).ok());
+}
+
+TEST(WellFormedHybrid, UpdateMustNotInitiate) {
+  const History h = hist({initiate(X, A, 1)});
+  EXPECT_FALSE(check_well_formed_hybrid(h, {}).ok());
+}
+
+TEST(WellFormedHybrid, ReadOnlyMustInitiateBeforeInvoking) {
+  const History h = hist({
+      invoke(X, R, op("member", 3)),
+      respond(X, R, Value{false}),
+  });
+  EXPECT_FALSE(check_well_formed_hybrid(h, {R}).ok());
+}
+
+TEST(WellFormedHybrid, TimestampConsistentWithPrecedesAccepted) {
+  const History h = hist({
+      invoke(X, A, op("insert", 3)),
+      respond(X, A, ok()),
+      commit_at(X, A, 1),
+      invoke(X, B, op("member", 3)),
+      respond(X, B, Value{true}),
+      commit_at(X, B, 2),
+  });
+  EXPECT_TRUE(check_well_formed_hybrid(h, {}).ok())
+      << check_well_formed_hybrid(h, {}).summary();
+}
+
+TEST(WellFormedness, SummaryFormatting) {
+  WellFormedness ok_result;
+  EXPECT_EQ(ok_result.summary(), "well-formed");
+  WellFormedness bad;
+  bad.violations.push_back("boom");
+  EXPECT_NE(bad.summary().find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace argus
