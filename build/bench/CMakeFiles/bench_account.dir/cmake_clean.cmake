@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_account.dir/bench_account.cpp.o"
+  "CMakeFiles/bench_account.dir/bench_account.cpp.o.d"
+  "bench_account"
+  "bench_account.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_account.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

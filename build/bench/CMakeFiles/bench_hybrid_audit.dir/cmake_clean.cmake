@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_audit.dir/bench_hybrid_audit.cpp.o"
+  "CMakeFiles/bench_hybrid_audit.dir/bench_hybrid_audit.cpp.o.d"
+  "bench_hybrid_audit"
+  "bench_hybrid_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

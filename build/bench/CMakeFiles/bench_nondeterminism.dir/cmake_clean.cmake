@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nondeterminism.dir/bench_nondeterminism.cpp.o"
+  "CMakeFiles/bench_nondeterminism.dir/bench_nondeterminism.cpp.o.d"
+  "bench_nondeterminism"
+  "bench_nondeterminism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nondeterminism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_history_file.dir/check_history_file.cpp.o"
+  "CMakeFiles/check_history_file.dir/check_history_file.cpp.o.d"
+  "check_history_file"
+  "check_history_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_history_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_bank.dir/distributed_bank.cpp.o"
+  "CMakeFiles/distributed_bank.dir/distributed_bank.cpp.o.d"
+  "distributed_bank"
+  "distributed_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_check.dir/history_check.cpp.o"
+  "CMakeFiles/history_check.dir/history_check.cpp.o.d"
+  "history_check"
+  "history_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_pipeline.dir/queue_pipeline.cpp.o"
+  "CMakeFiles/queue_pipeline.dir/queue_pipeline.cpp.o.d"
+  "queue_pipeline"
+  "queue_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

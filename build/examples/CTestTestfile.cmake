@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;16;argus_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_banking_audit]=] "/root/repo/build/examples/banking_audit")
+set_tests_properties([=[example_banking_audit]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;17;argus_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_queue_pipeline]=] "/root/repo/build/examples/queue_pipeline")
+set_tests_properties([=[example_queue_pipeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;18;argus_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_history_check]=] "/root/repo/build/examples/history_check")
+set_tests_properties([=[example_history_check]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;19;argus_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_distributed_bank]=] "/root/repo/build/examples/distributed_bank")
+set_tests_properties([=[example_distributed_bank]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;20;argus_example_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_check_history_file]=] "/root/repo/build/examples/check_history_file" "int_set" "/root/repo/examples/section41.history")
+set_tests_properties([=[example_check_history_file]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/admission.cpp" "src/check/CMakeFiles/argus_check.dir/admission.cpp.o" "gcc" "src/check/CMakeFiles/argus_check.dir/admission.cpp.o.d"
+  "/root/repo/src/check/atomicity.cpp" "src/check/CMakeFiles/argus_check.dir/atomicity.cpp.o" "gcc" "src/check/CMakeFiles/argus_check.dir/atomicity.cpp.o.d"
+  "/root/repo/src/check/random_history.cpp" "src/check/CMakeFiles/argus_check.dir/random_history.cpp.o" "gcc" "src/check/CMakeFiles/argus_check.dir/random_history.cpp.o.d"
+  "/root/repo/src/check/serializability.cpp" "src/check/CMakeFiles/argus_check.dir/serializability.cpp.o" "gcc" "src/check/CMakeFiles/argus_check.dir/serializability.cpp.o.d"
+  "/root/repo/src/check/system.cpp" "src/check/CMakeFiles/argus_check.dir/system.cpp.o" "gcc" "src/check/CMakeFiles/argus_check.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/argus_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/argus_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

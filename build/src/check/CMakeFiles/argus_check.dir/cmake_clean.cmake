@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_check.dir/admission.cpp.o"
+  "CMakeFiles/argus_check.dir/admission.cpp.o.d"
+  "CMakeFiles/argus_check.dir/atomicity.cpp.o"
+  "CMakeFiles/argus_check.dir/atomicity.cpp.o.d"
+  "CMakeFiles/argus_check.dir/random_history.cpp.o"
+  "CMakeFiles/argus_check.dir/random_history.cpp.o.d"
+  "CMakeFiles/argus_check.dir/serializability.cpp.o"
+  "CMakeFiles/argus_check.dir/serializability.cpp.o.d"
+  "CMakeFiles/argus_check.dir/system.cpp.o"
+  "CMakeFiles/argus_check.dir/system.cpp.o.d"
+  "libargus_check.a"
+  "libargus_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

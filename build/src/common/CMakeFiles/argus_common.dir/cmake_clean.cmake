@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_common.dir/errors.cpp.o"
+  "CMakeFiles/argus_common.dir/errors.cpp.o.d"
+  "CMakeFiles/argus_common.dir/operation.cpp.o"
+  "CMakeFiles/argus_common.dir/operation.cpp.o.d"
+  "CMakeFiles/argus_common.dir/value.cpp.o"
+  "CMakeFiles/argus_common.dir/value.cpp.o.d"
+  "libargus_common.a"
+  "libargus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

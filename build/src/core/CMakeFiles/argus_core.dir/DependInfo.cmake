@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/escrow_account.cpp" "src/core/CMakeFiles/argus_core.dir/escrow_account.cpp.o" "gcc" "src/core/CMakeFiles/argus_core.dir/escrow_account.cpp.o.d"
+  "/root/repo/src/core/hybrid_bag.cpp" "src/core/CMakeFiles/argus_core.dir/hybrid_bag.cpp.o" "gcc" "src/core/CMakeFiles/argus_core.dir/hybrid_bag.cpp.o.d"
+  "/root/repo/src/core/hybrid_queue.cpp" "src/core/CMakeFiles/argus_core.dir/hybrid_queue.cpp.o" "gcc" "src/core/CMakeFiles/argus_core.dir/hybrid_queue.cpp.o.d"
+  "/root/repo/src/core/object_base.cpp" "src/core/CMakeFiles/argus_core.dir/object_base.cpp.o" "gcc" "src/core/CMakeFiles/argus_core.dir/object_base.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/argus_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/argus_core.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/argus_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/argus_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/argus_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/argus_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

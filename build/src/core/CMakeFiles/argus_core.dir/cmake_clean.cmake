@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_core.dir/escrow_account.cpp.o"
+  "CMakeFiles/argus_core.dir/escrow_account.cpp.o.d"
+  "CMakeFiles/argus_core.dir/hybrid_bag.cpp.o"
+  "CMakeFiles/argus_core.dir/hybrid_bag.cpp.o.d"
+  "CMakeFiles/argus_core.dir/hybrid_queue.cpp.o"
+  "CMakeFiles/argus_core.dir/hybrid_queue.cpp.o.d"
+  "CMakeFiles/argus_core.dir/object_base.cpp.o"
+  "CMakeFiles/argus_core.dir/object_base.cpp.o.d"
+  "CMakeFiles/argus_core.dir/runtime.cpp.o"
+  "CMakeFiles/argus_core.dir/runtime.cpp.o.d"
+  "libargus_core.a"
+  "libargus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

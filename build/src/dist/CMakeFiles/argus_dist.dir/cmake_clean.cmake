@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_dist.dir/remote_object.cpp.o"
+  "CMakeFiles/argus_dist.dir/remote_object.cpp.o.d"
+  "libargus_dist.a"
+  "libargus_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hist/event.cpp" "src/hist/CMakeFiles/argus_hist.dir/event.cpp.o" "gcc" "src/hist/CMakeFiles/argus_hist.dir/event.cpp.o.d"
+  "/root/repo/src/hist/history.cpp" "src/hist/CMakeFiles/argus_hist.dir/history.cpp.o" "gcc" "src/hist/CMakeFiles/argus_hist.dir/history.cpp.o.d"
+  "/root/repo/src/hist/parse.cpp" "src/hist/CMakeFiles/argus_hist.dir/parse.cpp.o" "gcc" "src/hist/CMakeFiles/argus_hist.dir/parse.cpp.o.d"
+  "/root/repo/src/hist/precedes.cpp" "src/hist/CMakeFiles/argus_hist.dir/precedes.cpp.o" "gcc" "src/hist/CMakeFiles/argus_hist.dir/precedes.cpp.o.d"
+  "/root/repo/src/hist/wellformed.cpp" "src/hist/CMakeFiles/argus_hist.dir/wellformed.cpp.o" "gcc" "src/hist/CMakeFiles/argus_hist.dir/wellformed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_hist.dir/event.cpp.o"
+  "CMakeFiles/argus_hist.dir/event.cpp.o.d"
+  "CMakeFiles/argus_hist.dir/history.cpp.o"
+  "CMakeFiles/argus_hist.dir/history.cpp.o.d"
+  "CMakeFiles/argus_hist.dir/parse.cpp.o"
+  "CMakeFiles/argus_hist.dir/parse.cpp.o.d"
+  "CMakeFiles/argus_hist.dir/precedes.cpp.o"
+  "CMakeFiles/argus_hist.dir/precedes.cpp.o.d"
+  "CMakeFiles/argus_hist.dir/wellformed.cpp.o"
+  "CMakeFiles/argus_hist.dir/wellformed.cpp.o.d"
+  "libargus_hist.a"
+  "libargus_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

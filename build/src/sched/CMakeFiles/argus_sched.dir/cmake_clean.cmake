@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_sched.dir/factory.cpp.o"
+  "CMakeFiles/argus_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/argus_sched.dir/storage.cpp.o"
+  "CMakeFiles/argus_sched.dir/storage.cpp.o.d"
+  "libargus_sched.a"
+  "libargus_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

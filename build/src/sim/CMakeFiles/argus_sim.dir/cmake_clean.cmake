@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_sim.dir/metrics.cpp.o"
+  "CMakeFiles/argus_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/argus_sim.dir/scenarios.cpp.o"
+  "CMakeFiles/argus_sim.dir/scenarios.cpp.o.d"
+  "CMakeFiles/argus_sim.dir/workload.cpp.o"
+  "CMakeFiles/argus_sim.dir/workload.cpp.o.d"
+  "libargus_sim.a"
+  "libargus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/adts/bag.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/bag.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/bag.cpp.o.d"
+  "/root/repo/src/spec/adts/bank_account.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/bank_account.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/bank_account.cpp.o.d"
+  "/root/repo/src/spec/adts/counter.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/counter.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/counter.cpp.o.d"
+  "/root/repo/src/spec/adts/fifo_queue.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/fifo_queue.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/fifo_queue.cpp.o.d"
+  "/root/repo/src/spec/adts/int_set.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/int_set.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/int_set.cpp.o.d"
+  "/root/repo/src/spec/adts/kv_store.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/kv_store.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/kv_store.cpp.o.d"
+  "/root/repo/src/spec/adts/registry.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/registry.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/registry.cpp.o.d"
+  "/root/repo/src/spec/adts/rw_register.cpp" "src/spec/CMakeFiles/argus_spec.dir/adts/rw_register.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/adts/rw_register.cpp.o.d"
+  "/root/repo/src/spec/commutativity.cpp" "src/spec/CMakeFiles/argus_spec.dir/commutativity.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/commutativity.cpp.o.d"
+  "/root/repo/src/spec/serial.cpp" "src/spec/CMakeFiles/argus_spec.dir/serial.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/serial.cpp.o.d"
+  "/root/repo/src/spec/spec.cpp" "src/spec/CMakeFiles/argus_spec.dir/spec.cpp.o" "gcc" "src/spec/CMakeFiles/argus_spec.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/argus_hist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_spec.dir/adts/bag.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/bag.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/adts/bank_account.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/bank_account.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/adts/counter.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/counter.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/adts/fifo_queue.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/fifo_queue.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/adts/int_set.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/int_set.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/adts/kv_store.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/kv_store.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/adts/registry.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/registry.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/adts/rw_register.cpp.o"
+  "CMakeFiles/argus_spec.dir/adts/rw_register.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/commutativity.cpp.o"
+  "CMakeFiles/argus_spec.dir/commutativity.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/serial.cpp.o"
+  "CMakeFiles/argus_spec.dir/serial.cpp.o.d"
+  "CMakeFiles/argus_spec.dir/spec.cpp.o"
+  "CMakeFiles/argus_spec.dir/spec.cpp.o.d"
+  "libargus_spec.a"
+  "libargus_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/clock.cpp" "src/txn/CMakeFiles/argus_txn.dir/clock.cpp.o" "gcc" "src/txn/CMakeFiles/argus_txn.dir/clock.cpp.o.d"
+  "/root/repo/src/txn/deadlock.cpp" "src/txn/CMakeFiles/argus_txn.dir/deadlock.cpp.o" "gcc" "src/txn/CMakeFiles/argus_txn.dir/deadlock.cpp.o.d"
+  "/root/repo/src/txn/managed_object.cpp" "src/txn/CMakeFiles/argus_txn.dir/managed_object.cpp.o" "gcc" "src/txn/CMakeFiles/argus_txn.dir/managed_object.cpp.o.d"
+  "/root/repo/src/txn/manager.cpp" "src/txn/CMakeFiles/argus_txn.dir/manager.cpp.o" "gcc" "src/txn/CMakeFiles/argus_txn.dir/manager.cpp.o.d"
+  "/root/repo/src/txn/stable_log.cpp" "src/txn/CMakeFiles/argus_txn.dir/stable_log.cpp.o" "gcc" "src/txn/CMakeFiles/argus_txn.dir/stable_log.cpp.o.d"
+  "/root/repo/src/txn/transaction.cpp" "src/txn/CMakeFiles/argus_txn.dir/transaction.cpp.o" "gcc" "src/txn/CMakeFiles/argus_txn.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/argus_hist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

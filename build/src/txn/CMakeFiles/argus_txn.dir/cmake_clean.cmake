@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_txn.dir/clock.cpp.o"
+  "CMakeFiles/argus_txn.dir/clock.cpp.o.d"
+  "CMakeFiles/argus_txn.dir/deadlock.cpp.o"
+  "CMakeFiles/argus_txn.dir/deadlock.cpp.o.d"
+  "CMakeFiles/argus_txn.dir/managed_object.cpp.o"
+  "CMakeFiles/argus_txn.dir/managed_object.cpp.o.d"
+  "CMakeFiles/argus_txn.dir/manager.cpp.o"
+  "CMakeFiles/argus_txn.dir/manager.cpp.o.d"
+  "CMakeFiles/argus_txn.dir/stable_log.cpp.o"
+  "CMakeFiles/argus_txn.dir/stable_log.cpp.o.d"
+  "CMakeFiles/argus_txn.dir/transaction.cpp.o"
+  "CMakeFiles/argus_txn.dir/transaction.cpp.o.d"
+  "libargus_txn.a"
+  "libargus_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adts_test.dir/adts_test.cpp.o"
+  "CMakeFiles/adts_test.dir/adts_test.cpp.o.d"
+  "adts_test"
+  "adts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomicity_checker_test.dir/atomicity_checker_test.cpp.o"
+  "CMakeFiles/atomicity_checker_test.dir/atomicity_checker_test.cpp.o.d"
+  "atomicity_checker_test"
+  "atomicity_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomicity_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_paths_test.dir/deadlock_paths_test.cpp.o"
+  "CMakeFiles/deadlock_paths_test.dir/deadlock_paths_test.cpp.o.d"
+  "deadlock_paths_test"
+  "deadlock_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_object_test.dir/dynamic_object_test.cpp.o"
+  "CMakeFiles/dynamic_object_test.dir/dynamic_object_test.cpp.o.d"
+  "dynamic_object_test"
+  "dynamic_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escrow_test.dir/escrow_test.cpp.o"
+  "CMakeFiles/escrow_test.dir/escrow_test.cpp.o.d"
+  "escrow_test"
+  "escrow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escrow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

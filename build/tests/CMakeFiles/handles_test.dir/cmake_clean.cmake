@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handles_test.dir/handles_test.cpp.o"
+  "CMakeFiles/handles_test.dir/handles_test.cpp.o.d"
+  "handles_test"
+  "handles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_bag_test.dir/hybrid_bag_test.cpp.o"
+  "CMakeFiles/hybrid_bag_test.dir/hybrid_bag_test.cpp.o.d"
+  "hybrid_bag_test"
+  "hybrid_bag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_bag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

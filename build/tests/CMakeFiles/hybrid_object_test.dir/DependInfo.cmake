@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hybrid_object_test.cpp" "tests/CMakeFiles/hybrid_object_test.dir/hybrid_object_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_object_test.dir/hybrid_object_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/argus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/argus_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/argus_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/argus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/argus_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/argus_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/argus_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/argus_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/argus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

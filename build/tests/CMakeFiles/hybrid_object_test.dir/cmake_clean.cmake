@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_object_test.dir/hybrid_object_test.cpp.o"
+  "CMakeFiles/hybrid_object_test.dir/hybrid_object_test.cpp.o.d"
+  "hybrid_object_test"
+  "hybrid_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

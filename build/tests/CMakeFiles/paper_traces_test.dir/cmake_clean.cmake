@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_traces_test.dir/paper_traces_test.cpp.o"
+  "CMakeFiles/paper_traces_test.dir/paper_traces_test.cpp.o.d"
+  "paper_traces_test"
+  "paper_traces_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_traces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_object_test.dir/remote_object_test.cpp.o"
+  "CMakeFiles/remote_object_test.dir/remote_object_test.cpp.o.d"
+  "remote_object_test"
+  "remote_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

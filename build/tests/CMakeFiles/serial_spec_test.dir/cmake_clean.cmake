@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_spec_test.dir/serial_spec_test.cpp.o"
+  "CMakeFiles/serial_spec_test.dir/serial_spec_test.cpp.o.d"
+  "serial_spec_test"
+  "serial_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

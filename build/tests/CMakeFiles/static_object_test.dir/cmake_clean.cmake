@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_object_test.dir/static_object_test.cpp.o"
+  "CMakeFiles/static_object_test.dir/static_object_test.cpp.o.d"
+  "static_object_test"
+  "static_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

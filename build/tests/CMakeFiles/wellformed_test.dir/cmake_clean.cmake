@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wellformed_test.dir/wellformed_test.cpp.o"
+  "CMakeFiles/wellformed_test.dir/wellformed_test.cpp.o.d"
+  "wellformed_test"
+  "wellformed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wellformed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
