@@ -39,7 +39,8 @@ std::shared_ptr<DynamicAtomicObject<BankAccountAdt>> make_account(
 
 void run_contended_on(benchmark::State& state,
                       const std::shared_ptr<ManagedObject>& acct, Runtime& rt,
-                      bool commuting_only, int threads) {
+                      bool commuting_only, int threads,
+                      const std::string& key) {
   rt.set_wait_timeout_all(std::chrono::milliseconds(200));
   MixItem body{"op", TxnKind::kUpdate, 1,
                [acct, commuting_only](Transaction& txn, SplitMix64&) {
@@ -57,7 +58,7 @@ void run_contended_on(benchmark::State& state,
   options.transactions_per_thread = 200 / threads + 1;
   options.seed = 5;
   WorkloadDriver driver(rt, options);
-  bench::report(state, driver.run({body}));
+  bench::report(state, driver.run({body}), key);
 }
 
 void run_contended(benchmark::State& state, AdmissionMode mode,
@@ -65,7 +66,10 @@ void run_contended(benchmark::State& state, AdmissionMode mode,
   for (auto _ : state) {
     Runtime rt(/*record_history=*/false);
     auto acct = make_account(rt, mode, 1'000'000);
-    run_contended_on(state, acct, rt, commuting_only, 4);
+    run_contended_on(state, acct, rt, commuting_only, 4,
+                     std::string("ablation/") +
+                         (mode == AdmissionMode::kExact ? "exact" : "table") +
+                         (commuting_only ? "/deposits" : "/withdraws"));
   }
 }
 
@@ -84,7 +88,10 @@ void run_contended_escrow(benchmark::State& state, bool commuting_only,
       acct->invoke(*t, account::deposit(1'000'000));
       rt.commit(t);
     }
-    run_contended_on(state, acct, rt, commuting_only, threads);
+    run_contended_on(state, acct, rt, commuting_only, threads,
+                     std::string("ablation/escrow") +
+                         (commuting_only ? "/deposits" : "/withdraws") + "/t" +
+                         std::to_string(threads));
   }
 }
 

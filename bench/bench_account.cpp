@@ -39,9 +39,11 @@ void run_account(benchmark::State& state, Protocol protocol) {
         scenario.withdraw_burst_mix(1, 4, 50, 3),
         scenario.deposit_burst_mix(1, 4, 50, 1),
     });
-    bench::report(state, result);
-    bench::report_label(state, result, "withdraw");
-    bench::report_label(state, result, "deposit");
+    const std::string key =
+        "account/" + to_string(protocol) + "/h" + std::to_string(headroom);
+    bench::report(state, result, key);
+    bench::report_label(state, result, "withdraw", key);
+    bench::report_label(state, result, "deposit", key);
   }
 }
 

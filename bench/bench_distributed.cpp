@@ -73,9 +73,11 @@ void run_distributed(benchmark::State& state, Protocol protocol) {
     options.seed = 31;
     WorkloadDriver driver(rt, options);
     const auto result = driver.run({transfer, audit});
-    bench::report(state, result);
-    bench::report_label(state, result, "transfer");
-    bench::report_label(state, result, "audit");
+    const std::string key = "distributed/" + to_string(protocol) + "/rpc" +
+                            std::to_string(rpc_us);
+    bench::report(state, result, key);
+    bench::report_label(state, result, "transfer", key);
+    bench::report_label(state, result, "audit", key);
   }
 }
 

@@ -53,9 +53,12 @@ void run_mixed(benchmark::State& state, Protocol protocol) {
         bank.audit_mix(supports_snapshot_reads(protocol), audit_weight,
                        /*hold_us=*/40),
     });
-    bench::report(state, result);
-    bench::report_label(state, result, "transfer");
-    bench::report_label(state, result, "audit");
+    const std::string key = "mixed/" + to_string(protocol) + "/w" +
+                            std::to_string(audit_weight) + "/skew" +
+                            std::to_string(skew_us);
+    bench::report(state, result, key);
+    bench::report_label(state, result, "transfer", key);
+    bench::report_label(state, result, "audit", key);
   }
 }
 

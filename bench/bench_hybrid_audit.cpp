@@ -42,9 +42,12 @@ void run_audit(benchmark::State& state, Protocol protocol) {
         bank.audit_mix(supports_snapshot_reads(protocol), audit_weight,
                        /*hold_us=*/100),
     });
-    bench::report(state, result);
-    bench::report_label(state, result, "transfer");
-    bench::report_label(state, result, "audit");
+    const std::string key = "audit/" + to_string(protocol) + "/a" +
+                            std::to_string(accounts) + "/w" +
+                            std::to_string(audit_weight);
+    bench::report(state, result, key);
+    bench::report_label(state, result, "transfer", key);
+    bench::report_label(state, result, "audit", key);
   }
 }
 

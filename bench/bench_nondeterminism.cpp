@@ -63,7 +63,9 @@ void run_consumers(benchmark::State& state, bool use_bag) {
     options.transactions_per_thread = 400 / consumers + 1;
     options.seed = 11;
     WorkloadDriver driver(rt, options);
-    bench::report(state, driver.run({consume}));
+    bench::report(state, driver.run({consume}),
+                  std::string("consumers/") + (use_bag ? "bag" : "fifo") +
+                      "/c" + std::to_string(consumers));
   }
 }
 

@@ -44,9 +44,11 @@ void run_queue(benchmark::State& state, Protocol protocol) {
     WorkloadDriver driver(rt, options);
     const auto result =
         driver.run({scenario.producer_mix(4, 3), scenario.consumer_mix(2, 1)});
-    bench::report(state, result);
-    bench::report_label(state, result, "producer");
-    bench::report_label(state, result, "consumer");
+    const std::string key =
+        "queue/" + to_string(protocol) + "/t" + std::to_string(threads);
+    bench::report(state, result, key);
+    bench::report_label(state, result, "producer", key);
+    bench::report_label(state, result, "consumer", key);
   }
 }
 

@@ -2,20 +2,23 @@
 // (§4.3).
 //
 // Updates are processed exactly as in DynamicAtomicObject (intentions
-// lists + data-dependent admission). At commit the transaction manager
-// assigns a timestamp from the Lamport clock inside the commit critical
-// section, so commit timestamps are consistent with precedes at every
-// object (§4.3.3's first required property); the object appends the
-// transaction's operations to a timestamp-ordered committed log and
-// records the <commit(t),x,a> event.
+// lists + data-dependent admission). At commit the transaction manager's
+// pipeline assigns a timestamp from the Lamport clock (the pipeline's
+// tiny timestamp stage), so commit timestamps are consistent with
+// precedes at every object (§4.3.3's first required property); applies
+// run in commit-timestamp order, so the object appends the transaction's
+// operations to a committed log that grows timestamp-sorted and records
+// the <commit(t),x,a> event.
 //
-// Read-only activities choose their timestamp at initiation (their begin
-// draws it under the same commit mutex) and evaluate queries against the
-// replayed log prefix below their timestamp — they take no locks, hold no
-// intentions, never wait and never abort, and are invisible to updates.
-// This realizes the paper's answer to Lamport's audit problem (§4.3.3):
-// audits see a full serializable snapshot yet "do not interfere with any
-// updates".
+// Read-only activities choose their timestamp at initiation: their begin
+// draws a fresh timestamp and waits until the manager's visibility
+// watermark covers it, so every commit below the timestamp has fully
+// applied before the activity runs. They then evaluate queries against
+// the replayed log prefix below their timestamp — they take no locks,
+// hold no intentions, never wait and never abort, and are invisible to
+// updates. This realizes the paper's answer to Lamport's audit problem
+// (§4.3.3): audits see a full serializable snapshot yet "do not
+// interfere with any updates".
 #pragma once
 
 #include <map>
@@ -125,9 +128,10 @@ class HybridAtomicObject final : public ObjectBase {
     record(argus::invoke(id(), txn.id(), op));
 
     // The view at t: committed operations with timestamps strictly below
-    // t. The log is timestamp-ordered (commit order equals timestamp
-    // order by construction), and every commit below t has fully applied
-    // before t was issued, so this is a true prefix.
+    // t. The log is timestamp-ordered (applies run in commit-timestamp
+    // order, and recovery replays the timestamp-sorted stable log), and
+    // the watermark guaranteed every commit below t had fully applied
+    // before this activity's begin returned, so this is a true prefix.
     std::vector<LoggedOp> prefix;
     for (const auto& [ts, logged] : log_) {
       if (ts >= t) break;

@@ -12,10 +12,13 @@
 //   auto verdict = check_dynamic_atomic(rt.system(), rt.history());
 //
 // crash()/recover() simulate a whole-node failure: crash dooms every
-// active transaction (their threads unwind with TransactionAborted);
-// after the caller has joined its worker threads, recover() resets every
-// object and replays the stable intentions log, restoring exactly the
-// committed effects.
+// active transaction (their threads unwind with TransactionAborted) and
+// drains the commit pipeline — group-commit records not yet forced are
+// discarded and their committers abort, while records already forced
+// complete their apply. After the caller has joined its worker threads,
+// recover() resets every object and replays the stable intentions log
+// (forced records only, in commit-timestamp order), restoring exactly
+// the committed effects.
 #pragma once
 
 #include <memory>
@@ -95,8 +98,8 @@ class Runtime {
   /// aborts+retries instead of stalling the run).
   void set_wait_timeout_all(std::chrono::milliseconds timeout);
 
-  /// Node failure: dooms all active transactions. Join your worker
-  /// threads, then call recover().
+  /// Node failure: dooms all active transactions and discards un-forced
+  /// group-commit records. Join your worker threads, then call recover().
   void crash();
 
   /// Rebuilds every object from the stable intentions log.

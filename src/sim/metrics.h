@@ -1,5 +1,6 @@
 // Aggregated workload metrics: the measurements every experiment reports
-// (committed/aborted counts by reason, latency distribution, throughput).
+// (committed/aborted counts by reason, latency distribution, throughput,
+// and commit-pipeline stage counters).
 #pragma once
 
 #include <cstdint>
@@ -9,15 +10,26 @@
 #include <vector>
 
 #include "common/errors.h"
+#include "common/rng.h"
+#include "txn/manager.h"
 
 namespace argus {
 
-/// Online latency aggregation with a bounded sample for percentiles.
+/// Online latency aggregation with a bounded reservoir sample for
+/// percentiles. add() runs Algorithm R, so every observation has equal
+/// probability of being retained regardless of arrival position — the
+/// sample stays unbiased under arbitrarily long runs (the previous
+/// first-N truncation over-weighted warm-up latencies).
 class LatencyStats {
  public:
+  static constexpr std::size_t kSampleCap = 65536;
+
   void add(double micros);
 
-  /// Merges another aggregate into this one (sample concatenation, capped).
+  /// Merges another aggregate into this one. When the combined samples
+  /// fit under the cap this is exact concatenation; otherwise the merged
+  /// reservoir draws from each side proportionally to its observation
+  /// count, preserving (approximately) uniform inclusion probability.
   void merge(const LatencyStats& other);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
@@ -30,11 +42,11 @@ class LatencyStats {
   [[nodiscard]] double percentile(double q) const;
 
  private:
-  static constexpr std::size_t kSampleCap = 65536;
   std::uint64_t count_{0};
   double total_{0.0};
   double max_{0.0};
   std::vector<double> sample_;
+  SplitMix64 rng_{0x61727573u};  // fixed seed: deterministic replacement
 };
 
 struct LabelStats {
@@ -52,6 +64,9 @@ struct WorkloadResult {
   std::map<AbortReason, std::uint64_t> aborts_by_reason;
   std::map<std::string, LabelStats> by_label;
   std::uint64_t deadlocks{0};
+  /// Commit-pipeline counters captured from the runtime at the end of the
+  /// run: per-stage time, group-commit batch shape, watermark lag.
+  CommitPipelineStats pipeline;
 
   [[nodiscard]] double throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;

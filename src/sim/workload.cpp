@@ -102,6 +102,7 @@ WorkloadResult WorkloadDriver::run(const std::vector<MixItem>& mix) {
   result.seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   result.deadlocks = rt_.tm().detector().deadlocks_resolved();
+  result.pipeline = rt_.tm().pipeline_stats();
   return result;
 }
 

@@ -1,6 +1,53 @@
 #include "txn/clock.h"
 
-// LamportClock is header-only; this translation unit exists to give the
-// target a consistent one-cpp-per-header layout.
+namespace argus {
 
-namespace argus {}  // namespace argus
+Timestamp LamportClock::begin_commit() {
+  const std::scoped_lock lock(mu_);
+  const Timestamp ts = next();
+  inflight_.insert(ts);
+  if (ts > last_commit_) last_commit_ = ts;
+  return ts;
+}
+
+void LamportClock::wait_for_turn(Timestamp ts) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] {
+    return !inflight_.empty() && *inflight_.begin() == ts;
+  });
+}
+
+void LamportClock::finish_commit(Timestamp ts) {
+  {
+    const std::scoped_lock lock(mu_);
+    inflight_.erase(ts);
+    // Everything below the smallest remaining in-flight commit (or below
+    // the largest timestamp ever handed to a committer, when none remain)
+    // has fully applied or aborted.
+    const Timestamp candidate =
+        inflight_.empty() ? last_commit_ : *inflight_.begin() - 1;
+    if (candidate > watermark_.load(std::memory_order_relaxed)) {
+      watermark_.store(candidate, std::memory_order_release);
+    }
+  }
+  cv_.notify_all();
+}
+
+Timestamp LamportClock::read_only_begin() {
+  std::unique_lock lock(mu_);
+  const Timestamp ts = next();
+  cv_.wait(lock, [&] { return covered_locked(ts); });
+  return ts;
+}
+
+void LamportClock::wait_covered(Timestamp ts) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return covered_locked(ts); });
+}
+
+std::size_t LamportClock::inflight() const {
+  const std::scoped_lock lock(mu_);
+  return inflight_.size();
+}
+
+}  // namespace argus

@@ -1,11 +1,39 @@
 // Lamport clock ([Lamport 78], cited in §4.3.3) used to generate the
-// timestamps of the static and hybrid properties. Hybrid atomicity needs
-// commit timestamps consistent with precedes at every object; assigning
-// them from a monotone clock inside the commit critical section achieves
-// that (§4.3.3: "this can be achieved ... by using a Lamport clock").
+// timestamps of the static and hybrid properties, extended with the
+// commit-pipeline machinery: an in-flight commit table and a visibility
+// watermark.
+//
+// Hybrid atomicity needs commit timestamps consistent with precedes at
+// every object (§4.3.3: "this can be achieved ... by using a Lamport
+// clock"). The seed implementation obtained that by drawing every
+// timestamp inside one global commit mutex; this clock instead makes the
+// timestamp draw itself the only critical section:
+//
+//   * begin_commit() atomically allocates the next timestamp and
+//     registers it in the in-flight table — the pipeline's "timestamp"
+//     stage, a few instructions under a leaf mutex.
+//   * wait_for_turn(ts) blocks until every earlier in-flight commit has
+//     finished, so the "apply" stage runs in timestamp order without any
+//     global lock held across logging or object work.
+//   * finish_commit(ts) retires a commit (applied or aborted) and
+//     advances the watermark: the largest timestamp W such that every
+//     commit with timestamp <= W has fully applied (or aborted). The
+//     watermark is monotone and read lock-free.
+//   * read_only_begin() draws a start timestamp for a read-only activity
+//     and waits until the watermark covers it, i.e. until no in-flight
+//     commit below the drawn timestamp remains. This preserves §4.3.3's
+//     invariant — a read-only activity at t observes exactly the
+//     committed updates below t — by construction: at return, every
+//     commit below t has applied, and every future commit draws a larger
+//     timestamp. (We draw a fresh timestamp rather than reusing the
+//     watermark value itself because the model requires timestamps to be
+//     unique across activities; see TimestampRules in hist/wellformed.)
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
 
 #include "common/ids.h"
 
@@ -31,8 +59,48 @@ class LamportClock {
     return counter_.load(std::memory_order_relaxed);
   }
 
+  /// Allocates a commit timestamp and registers it in the in-flight
+  /// table. Every begin_commit must be balanced by exactly one
+  /// finish_commit (whether the commit applied or aborted).
+  Timestamp begin_commit();
+
+  /// Blocks until `ts` is the smallest in-flight commit timestamp, i.e.
+  /// every earlier commit has retired. `ts` must be in flight.
+  void wait_for_turn(Timestamp ts);
+
+  /// Retires an in-flight commit and advances the watermark past every
+  /// timestamp with no in-flight commit at or below it.
+  void finish_commit(Timestamp ts);
+
+  /// Draws a start timestamp for a read-only activity: a fresh timestamp
+  /// t such that, on return, every commit with timestamp below t has
+  /// fully applied. Blocks while in-flight commits below t drain.
+  Timestamp read_only_begin();
+
+  /// Waits until every in-flight commit with timestamp below `ts` has
+  /// retired (used when the caller supplies its own start timestamp).
+  void wait_covered(Timestamp ts);
+
+  /// Largest timestamp W such that every commit <= W has fully applied.
+  [[nodiscard]] Timestamp watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  /// In-flight commit count (metrics).
+  [[nodiscard]] std::size_t inflight() const;
+
  private:
+  [[nodiscard]] bool covered_locked(Timestamp ts) const {
+    return inflight_.empty() || *inflight_.begin() > ts;
+  }
+
   std::atomic<Timestamp> counter_{0};
+  std::atomic<Timestamp> watermark_{0};
+
+  mutable std::mutex mu_;          // guards inflight_, last_commit_
+  std::condition_variable cv_;     // signalled on finish_commit
+  std::set<Timestamp> inflight_;   // allocated, not yet retired commit ts
+  Timestamp last_commit_{0};       // largest commit ts ever allocated
 };
 
 }  // namespace argus

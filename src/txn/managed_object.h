@@ -33,12 +33,17 @@ class ManagedObject {
   /// atomicity's timestamp-order aborts).
   virtual Value invoke(Transaction& txn, const Operation& op) = 0;
 
-  /// Two-phase commit, phase 1: validate that txn can commit here.
+  /// Commit pipeline, validate stage: check that txn can commit here.
+  /// Runs concurrently with other transactions' validate/log/apply
+  /// stages — no global lock is held.
   virtual void prepare(Transaction& txn) = 0;
 
-  /// Phase 2: make txn's effects permanent. `commit_ts` is the commit
+  /// Apply stage: make txn's effects permanent. `commit_ts` is the commit
   /// timestamp assigned by the manager (hybrid atomicity's timestamp
-  /// event); plain protocols may ignore it.
+  /// event); plain protocols may ignore it. The manager calls applies in
+  /// commit-timestamp order (its record already forced to the stable
+  /// log), so an object's committed log grows timestamp-sorted; the
+  /// object must not block here.
   virtual void commit(Transaction& txn, Timestamp commit_ts) = 0;
 
   /// Discards txn's effects (recoverability: the all-or-nothing half of

@@ -1,11 +1,34 @@
 #include "txn/manager.h"
 
+#include <chrono>
+
+#include "common/scope_guard.h"
+
 namespace argus {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t micros_between(SteadyClock::time_point from,
+                             SteadyClock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
 
 std::shared_ptr<Transaction> TransactionManager::begin(TxnKind kind) {
   Timestamp ts;
-  {
+  if (commit_mode() == CommitMode::kSingleMutex) {
     const std::scoped_lock lock(commit_mu_);
+    ts = clock_.next();
+  } else if (kind == TxnKind::kReadOnly) {
+    // Pin the snapshot to the watermark: the begin returns only once
+    // every commit below the drawn timestamp has fully applied.
+    ts = clock_.read_only_begin();
+  } else {
     ts = clock_.next();
   }
   const ActivityId id{next_id_.fetch_add(1, std::memory_order_relaxed)};
@@ -20,9 +43,12 @@ std::shared_ptr<Transaction> TransactionManager::begin(TxnKind kind) {
 
 std::shared_ptr<Transaction> TransactionManager::begin_with_timestamp(
     TxnKind kind, Timestamp start_ts) {
-  {
+  if (commit_mode() == CommitMode::kSingleMutex) {
     const std::scoped_lock lock(commit_mu_);
     clock_.observe(start_ts);
+  } else {
+    clock_.observe(start_ts);
+    if (kind == TxnKind::kReadOnly) clock_.wait_covered(start_ts);
   }
   const ActivityId id{next_id_.fetch_add(1, std::memory_order_relaxed)};
   auto t = std::make_shared<Transaction>(id, kind, start_ts);
@@ -46,42 +72,117 @@ void TransactionManager::commit(const std::shared_ptr<Transaction>& t) {
 
   const std::vector<ManagedObject*> objects = t->touched();
 
-  // Phase 1: validation. An object may veto by throwing.
+  // Stage 1: validate. An object may veto by throwing. Runs without any
+  // global lock in both modes.
+  const auto validate_start = SteadyClock::now();
   try {
     for (ManagedObject* o : objects) o->prepare(*t);
   } catch (const TransactionAborted& e) {
     finish_abort(t, e.reason());
     throw;
   }
+  validate_us_.fetch_add(
+      micros_between(validate_start, SteadyClock::now()),
+      std::memory_order_relaxed);
 
-  // Phase 2: assign the commit timestamp, force the intentions log, and
-  // apply — all inside the commit critical section.
-  {
-    const std::scoped_lock lock(commit_mu_);
-    if (t->doomed()) {
-      const AbortReason reason = t->doom_reason();
-      finish_abort(t, reason);
-      throw TransactionAborted(t->id(), reason);
-    }
-    const Timestamp ts = clock_.next();
-    t->set_commit_ts(ts);
-
-    CommitLogRecord record;
-    record.txn = t->id();
-    record.commit_ts = ts;
-    record.start_ts = t->start_ts();
-    for (ManagedObject* o : objects) {
-      CommitLogRecord::Entry entry;
-      entry.object = o->id();
-      entry.ops = o->intentions_of(*t);
-      record.entries.push_back(std::move(entry));
-    }
-    log_.append(std::move(record));  // write-ahead: forced before applying
-
-    for (ManagedObject* o : objects) o->commit(*t, ts);
-    t->set_state(TxnState::kCommitted);
+  if (commit_mode() == CommitMode::kSingleMutex) {
+    commit_single_mutex(t, objects);
+  } else {
+    commit_pipelined(t, objects);
   }
 
+  finish_commit_bookkeeping(t, objects);
+}
+
+CommitLogRecord TransactionManager::build_record(
+    const Transaction& t, const std::vector<ManagedObject*>& objects,
+    Timestamp ts) const {
+  CommitLogRecord record;
+  record.txn = t.id();
+  record.commit_ts = ts;
+  record.start_ts = t.start_ts();
+  for (ManagedObject* o : objects) {
+    CommitLogRecord::Entry entry;
+    entry.object = o->id();
+    entry.ops = o->intentions_of(t);
+    record.entries.push_back(std::move(entry));
+  }
+  return record;
+}
+
+void TransactionManager::commit_single_mutex(
+    const std::shared_ptr<Transaction>& t,
+    const std::vector<ManagedObject*>& objects) {
+  // Seed behaviour: timestamp draw, log force, and apply all inside one
+  // global critical section.
+  const std::scoped_lock lock(commit_mu_);
+  if (t->doomed()) {
+    const AbortReason reason = t->doom_reason();
+    finish_abort(t, reason);
+    throw TransactionAborted(t->id(), reason);
+  }
+  const Timestamp ts = clock_.next();
+  t->set_commit_ts(ts);
+  log_.append(build_record(*t, objects, ts));  // write-ahead
+  for (ManagedObject* o : objects) o->commit(*t, ts);
+  t->set_state(TxnState::kCommitted);
+}
+
+void TransactionManager::commit_pipelined(
+    const std::shared_ptr<Transaction>& t,
+    const std::vector<ManagedObject*>& objects) {
+  // Stage 2: timestamp — the only global critical section left.
+  const auto stamp_start = SteadyClock::now();
+  const Timestamp ts = clock_.begin_commit();
+  timestamp_us_.fetch_add(micros_between(stamp_start, SteadyClock::now()),
+                          std::memory_order_relaxed);
+
+  // Whatever happens below, the in-flight table entry must be retired, or
+  // the watermark (and every later committer's apply turn) stalls.
+  bool retired = false;
+  const auto retire = on_scope_exit([&] {
+    if (!retired) clock_.finish_commit(ts);
+  });
+
+  if (t->doomed()) {
+    const AbortReason reason = t->doom_reason();
+    finish_abort(t, reason);
+    throw TransactionAborted(t->id(), reason);
+  }
+  t->set_commit_ts(ts);
+
+  // Stage 3: group-commit log force. Write-ahead: the record is stable
+  // before anything applies. Concurrent committers coalesce into one
+  // force; a crash discards un-forced records and fails the append.
+  const auto log_start = SteadyClock::now();
+  const bool forced = log_.append_group(build_record(*t, objects, ts));
+  log_us_.fetch_add(micros_between(log_start, SteadyClock::now()),
+                    std::memory_order_relaxed);
+  if (!forced) {
+    finish_abort(t, AbortReason::kCrash);
+    throw TransactionAborted(t->id(), AbortReason::kCrash);
+  }
+
+  // Stage 4: apply + publish. Objects apply in commit-timestamp order —
+  // each committer waits for every earlier in-flight commit to retire, so
+  // per-object committed logs stay timestamp-sorted and queue-style
+  // applies see the same order the single-mutex path produced. Retiring
+  // advances the visibility watermark, which publishes the commit to
+  // read-only begins.
+  const auto apply_start = SteadyClock::now();
+  clock_.wait_for_turn(ts);
+  for (ManagedObject* o : objects) o->commit(*t, ts);
+  t->set_state(TxnState::kCommitted);
+  retired = true;
+  clock_.finish_commit(ts);
+  apply_us_.fetch_add(micros_between(apply_start, SteadyClock::now()),
+                      std::memory_order_relaxed);
+  pipelined_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TransactionManager::finish_commit_bookkeeping(
+    const std::shared_ptr<Transaction>& t,
+    const std::vector<ManagedObject*>& objects) {
   detector_.remove(t->id());
   {
     const std::scoped_lock lock(mu_);
@@ -118,10 +219,33 @@ TxnStats TransactionManager::stats() const {
   return stats_;
 }
 
+CommitPipelineStats TransactionManager::pipeline_stats() const {
+  CommitPipelineStats out;
+  out.commits = pipelined_commits_.load(std::memory_order_relaxed);
+  out.validate_us = validate_us_.load(std::memory_order_relaxed);
+  out.timestamp_us = timestamp_us_.load(std::memory_order_relaxed);
+  out.log_us = log_us_.load(std::memory_order_relaxed);
+  out.apply_us = apply_us_.load(std::memory_order_relaxed);
+  const StableLog::GroupStats log_stats = log_.group_stats();
+  out.log_forces = log_stats.forces;
+  out.log_records = log_stats.records_forced;
+  out.max_batch = log_stats.max_batch;
+  out.watermark = clock_.watermark();
+  out.clock_now = clock_.now();
+  return out;
+}
+
 void TransactionManager::doom_all_active(AbortReason reason) {
-  const std::scoped_lock commit_lock(commit_mu_);
   std::vector<std::shared_ptr<Transaction>> doomed;
-  {
+  if (commit_mode() == CommitMode::kSingleMutex) {
+    // Seed semantics: serialize against in-flight commits, so each
+    // transaction either committed fully or is doomed.
+    const std::scoped_lock commit_lock(commit_mu_);
+    const std::scoped_lock lock(mu_);
+    for (auto& [id, weak] : active_) {
+      if (auto t = weak.lock()) doomed.push_back(std::move(t));
+    }
+  } else {
     const std::scoped_lock lock(mu_);
     for (auto& [id, weak] : active_) {
       if (auto t = weak.lock()) doomed.push_back(std::move(t));
@@ -131,6 +255,10 @@ void TransactionManager::doom_all_active(AbortReason reason) {
     t->doom(reason);
     if (ManagedObject* o = t->waiting_at()) o->wake_all();
   }
+  // Drain the pipeline: any record not yet forced is lost, and its
+  // committer unwinds with an abort. Records already forced complete
+  // their apply, so recovery replays exactly the forced prefix.
+  log_.drop_pending();
 }
 
 std::vector<std::shared_ptr<Transaction>>

@@ -1,13 +1,35 @@
 // TransactionManager: begins transactions, assigns timestamps, and drives
-// two-phase commit and abort across the objects a transaction touched.
+// commit and abort across the objects a transaction touched.
 //
-// Timestamps are drawn from a single Lamport clock *inside the commit
-// critical section*; begin() draws start timestamps under the same mutex.
-// This gives the two properties §4.3.3's online implementation needs:
-// commit timestamps are consistent with precedes at every object, and a
+// The commit path is a staged pipeline (CommitMode::kPipelined, the
+// default):
+//
+//   1. validate   — prepare() at every touched object; runs fully in
+//                   parallel with other committers.
+//   2. timestamp  — LamportClock::begin_commit(), a tiny critical section
+//                   that allocates the commit timestamp and registers it
+//                   in the clock's in-flight commit table.
+//   3. group log  — StableLog::append_group(): concurrent committers
+//                   coalesce into a single log force (write-ahead: the
+//                   record is stable before anything applies).
+//   4. apply+publish — objects apply in commit-timestamp order (the
+//                   clock hands each committer its turn), then the commit
+//                   publishes by retiring its table entry, which advances
+//                   the monotone visibility watermark.
+//
+// §4.3.3's two invariants survive the loss of the seed's single global
+// commit mutex: commit timestamps are consistent with precedes because
+// they still come from one monotone clock drawn at commit; and a
 // read-only activity with start timestamp t observes exactly the
-// committed updates with timestamps below t (every such commit has fully
-// applied before t was issued).
+// committed updates below t because begin(kReadOnly) waits until the
+// watermark covers its (fresh, unique) timestamp — every commit below t
+// has fully applied before the begin returns, and every later commit
+// draws a larger timestamp. Update begins draw from the clock without
+// any lock at all.
+//
+// CommitMode::kSingleMutex preserves the seed behaviour — every commit
+// (and every begin) serialized under one mutex — as a baseline for
+// bench_commit_pipeline and as a reference implementation.
 #pragma once
 
 #include <atomic>
@@ -33,52 +55,113 @@ struct TxnStats {
   std::map<AbortReason, std::uint64_t> aborted_by_reason;
 };
 
+enum class CommitMode {
+  kSingleMutex,  // seed behaviour: one global mutex around phase 2
+  kPipelined,    // staged pipeline (default)
+};
+
+/// Cumulative commit-pipeline observability: per-stage time, group-commit
+/// batch shape, and the watermark's lag behind the clock.
+struct CommitPipelineStats {
+  std::uint64_t commits{0};       // pipelined commits completed
+  std::uint64_t validate_us{0};   // cumulative time in each stage
+  std::uint64_t timestamp_us{0};
+  std::uint64_t log_us{0};
+  std::uint64_t apply_us{0};
+  std::uint64_t log_forces{0};    // group-commit flushes
+  std::uint64_t log_records{0};   // records forced
+  std::uint64_t max_batch{0};     // largest single-flush batch
+  Timestamp watermark{0};         // snapshot at collection time
+  Timestamp clock_now{0};
+
+  [[nodiscard]] double avg_batch() const {
+    return log_forces == 0
+               ? 0.0
+               : static_cast<double>(log_records) /
+                     static_cast<double>(log_forces);
+  }
+  [[nodiscard]] std::uint64_t watermark_lag() const {
+    return clock_now >= watermark ? clock_now - watermark : 0;
+  }
+};
+
 class TransactionManager {
  public:
   TransactionManager() = default;
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
 
-  /// Starts a transaction. The start timestamp is drawn under the commit
-  /// mutex (see file comment).
+  /// Starts a transaction. Update transactions draw their start timestamp
+  /// from the clock lock-free; read-only transactions additionally wait
+  /// until the visibility watermark covers the drawn timestamp (see file
+  /// comment). In kSingleMutex mode every begin serializes with commits.
   std::shared_ptr<Transaction> begin(TxnKind kind = TxnKind::kUpdate);
 
   /// Starts a transaction with a caller-chosen start timestamp (used by
   /// tests and the timestamp-skew experiments; the caller is responsible
-  /// for uniqueness). Advances the clock past `start_ts`.
+  /// for uniqueness). Advances the clock past `start_ts`. Read-only
+  /// transactions wait for watermark coverage of `start_ts`.
   std::shared_ptr<Transaction> begin_with_timestamp(TxnKind kind,
                                                     Timestamp start_ts);
 
-  /// Two-phase commit across all touched objects. Throws
-  /// TransactionAborted (after performing the abort) if the transaction
-  /// was doomed or an object vetoed in prepare.
+  /// Commits across all touched objects via the staged pipeline (or the
+  /// single-mutex path, per commit_mode). Throws TransactionAborted
+  /// (after performing the abort) if the transaction was doomed, an
+  /// object vetoed in prepare, or a crash discarded its log record.
   void commit(const std::shared_ptr<Transaction>& t);
 
   /// Aborts at every touched object. Idempotent on finished transactions.
   void abort(const std::shared_ptr<Transaction>& t,
              AbortReason reason = AbortReason::kUser);
 
+  void set_commit_mode(CommitMode mode) {
+    mode_.store(mode, std::memory_order_release);
+  }
+  [[nodiscard]] CommitMode commit_mode() const {
+    return mode_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] LamportClock& clock() { return clock_; }
   [[nodiscard]] DeadlockDetector& detector() { return detector_; }
   [[nodiscard]] StableLog& log() { return log_; }
 
   [[nodiscard]] TxnStats stats() const;
+  [[nodiscard]] CommitPipelineStats pipeline_stats() const;
 
-  /// Dooms every active transaction (crash path). Serialized against
-  /// commits, so each transaction either committed fully or is doomed.
+  /// Dooms every active transaction and discards un-forced group-commit
+  /// records (crash path): each transaction either committed fully — its
+  /// record was forced, so its apply completes and recovery replays it —
+  /// or is doomed and unwinds.
   void doom_all_active(AbortReason reason);
 
   [[nodiscard]] std::vector<std::shared_ptr<Transaction>>
   active_transactions() const;
 
  private:
+  void commit_single_mutex(const std::shared_ptr<Transaction>& t,
+                           const std::vector<ManagedObject*>& objects);
+  void commit_pipelined(const std::shared_ptr<Transaction>& t,
+                        const std::vector<ManagedObject*>& objects);
+  CommitLogRecord build_record(const Transaction& t,
+                               const std::vector<ManagedObject*>& objects,
+                               Timestamp ts) const;
+  void finish_commit_bookkeeping(const std::shared_ptr<Transaction>& t,
+                                 const std::vector<ManagedObject*>& objects);
   void finish_abort(const std::shared_ptr<Transaction>& t, AbortReason reason);
 
   std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<CommitMode> mode_{CommitMode::kPipelined};
   LamportClock clock_;
   DeadlockDetector detector_;
   StableLog log_;
-  std::mutex commit_mu_;
+  std::mutex commit_mu_;  // kSingleMutex mode only
+
+  // Pipeline stage counters (cumulative microseconds).
+  std::atomic<std::uint64_t> pipelined_commits_{0};
+  std::atomic<std::uint64_t> validate_us_{0};
+  std::atomic<std::uint64_t> timestamp_us_{0};
+  std::atomic<std::uint64_t> log_us_{0};
+  std::atomic<std::uint64_t> apply_us_{0};
 
   mutable std::mutex mu_;  // guards active_ and stats_
   std::unordered_map<ActivityId, std::weak_ptr<Transaction>> active_;

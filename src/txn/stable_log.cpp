@@ -1,10 +1,115 @@
 #include "txn/stable_log.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace argus {
 
+void StableLog::insert_forced_locked(CommitLogRecord record) {
+  // Committers almost always force in near-timestamp order, so the scan
+  // from the back is O(1) amortized.
+  auto pos = records_.end();
+  while (pos != records_.begin() &&
+         std::prev(pos)->commit_ts > record.commit_ts) {
+    --pos;
+  }
+  records_.insert(pos, std::move(record));
+}
+
 void StableLog::append(CommitLogRecord record) {
+  // A group of one still pays a full storage round trip — the same
+  // simulated force latency the group-commit leader pays per batch.
+  std::chrono::microseconds delay;
+  {
+    const std::scoped_lock lock(mu_);
+    delay = force_delay_;
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
   const std::scoped_lock lock(mu_);
-  records_.push_back(std::move(record));
+  insert_forced_locked(std::move(record));
+  ++stats_.forces;
+  ++stats_.records_forced;
+  stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, 1);
+}
+
+bool StableLog::append_group(CommitLogRecord record) {
+  auto slot = std::make_shared<Slot>();
+  slot->record = std::move(record);
+
+  std::unique_lock lock(mu_);
+  queue_.push_back(slot);
+
+  while (slot->state == SlotState::kQueued) {
+    if (!flush_active_) {
+      // Become the flush leader: claim the entire pending queue and force
+      // it as one batch.
+      flush_active_ = true;
+      std::vector<std::shared_ptr<Slot>> batch = std::move(queue_);
+      queue_.clear();
+      const std::uint64_t generation = generation_;
+
+      if (force_delay_.count() > 0) {
+        lock.unlock();
+        std::this_thread::sleep_for(force_delay_);
+        lock.lock();
+      }
+      cv_.wait(lock, [&] { return !hold_flushes_ || generation_ != generation; });
+
+      flush_active_ = false;
+      if (generation_ == generation) {
+        // The force completed: the whole batch is stable at once.
+        ++stats_.forces;
+        stats_.records_forced += batch.size();
+        stats_.max_batch = std::max(stats_.max_batch,
+                                    static_cast<std::uint64_t>(batch.size()));
+        for (auto& s : batch) {
+          insert_forced_locked(std::move(s->record));
+          s->state = SlotState::kForced;
+        }
+      } else {
+        // drop_pending() hit mid-force: the batch never reached stable
+        // storage.
+        for (auto& s : batch) s->state = SlotState::kDropped;
+      }
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  return slot->state == SlotState::kForced;
+}
+
+void StableLog::drop_pending() {
+  {
+    const std::scoped_lock lock(mu_);
+    ++generation_;
+    for (auto& slot : queue_) slot->state = SlotState::kDropped;
+    queue_.clear();
+  }
+  cv_.notify_all();
+}
+
+void StableLog::set_force_delay(std::chrono::microseconds delay) {
+  const std::scoped_lock lock(mu_);
+  force_delay_ = delay;
+}
+
+void StableLog::hold_flushes() {
+  const std::scoped_lock lock(mu_);
+  hold_flushes_ = true;
+}
+
+void StableLog::release_flushes() {
+  {
+    const std::scoped_lock lock(mu_);
+    hold_flushes_ = false;
+  }
+  cv_.notify_all();
+}
+
+StableLog::GroupStats StableLog::group_stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
 }
 
 std::vector<CommitLogRecord> StableLog::records() const {

@@ -1,4 +1,5 @@
-// Simulated stable storage: a write-ahead intentions log.
+// Simulated stable storage: a write-ahead intentions log with group
+// commit.
 //
 // The paper integrates recoverability into the model rather than fixing a
 // recovery technique; our runtime realizes recoverability with intentions
@@ -8,11 +9,24 @@
 // volatile state; recover() replays the log, so exactly the committed
 // transactions' effects survive — the all-or-nothing property, testable.
 //
+// Forcing is batched (group commit): concurrent committers enqueue their
+// records and one of them — the flush leader — forces the whole pending
+// batch in a single simulated storage round trip, instead of serializing
+// one force per record. A record is stable exactly when append_group()
+// returns true; drop_pending() (the crash path) discards every record
+// that has not been forced yet and fails its waiting committer, so
+// recovery replays exactly the forced prefix.
+//
 // "Stable" here is process-lifetime memory that crash() deliberately
 // spares; substituting a file-backed log would not change any interface.
+// set_force_delay() models the latency of a real force (fsync); the
+// leader pays it once per batch.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -58,11 +72,38 @@ class StableLog {
  public:
   StableLog() = default;
 
-  /// Forces a commit record to stable storage. Once append returns, the
-  /// record survives crash().
+  /// Forces a single commit record to stable storage (a group of one).
+  /// Once append returns, the record survives crash().
   void append(CommitLogRecord record);
 
-  /// Snapshot of all records in commit order.
+  /// Group commit: enqueues the record and blocks until a flush leader
+  /// forces the batch containing it. Returns true when the record is
+  /// stable; false when drop_pending() (a crash) discarded it first — the
+  /// caller must then abort its transaction, since nothing was applied.
+  [[nodiscard]] bool append_group(CommitLogRecord record);
+
+  /// Crash path: discards every record not yet forced and fails its
+  /// waiting append_group() call. Records already forced are untouched.
+  void drop_pending();
+
+  /// Simulated per-force storage latency (fsync cost). The flush leader
+  /// pays it once for the whole batch. Default: zero.
+  void set_force_delay(std::chrono::microseconds delay);
+
+  /// Test hooks: while held, flush leaders block before completing their
+  /// force, so records pile up un-stable (used to aim a crash at an
+  /// in-flight batch).
+  void hold_flushes();
+  void release_flushes();
+
+  struct GroupStats {
+    std::uint64_t forces{0};         // flush round trips
+    std::uint64_t records_forced{0};
+    std::uint64_t max_batch{0};      // largest single-force batch
+  };
+  [[nodiscard]] GroupStats group_stats() const;
+
+  /// Snapshot of all forced records, ordered by commit timestamp.
   [[nodiscard]] std::vector<CommitLogRecord> records() const;
 
   [[nodiscard]] std::size_t size() const;
@@ -72,8 +113,27 @@ class StableLog {
   void clear();
 
  private:
+  enum class SlotState { kQueued, kForced, kDropped };
+
+  struct Slot {
+    CommitLogRecord record;
+    SlotState state{SlotState::kQueued};
+  };
+
+  /// Inserts a forced record keeping records_ sorted by commit_ts.
+  /// Batches can force out of timestamp order (a later-stamped committer
+  /// may reach the log first), and recovery replays records_ in order.
+  void insert_forced_locked(CommitLogRecord record);
+
   mutable std::mutex mu_;
-  std::vector<CommitLogRecord> records_;
+  std::condition_variable cv_;
+  std::vector<CommitLogRecord> records_;       // forced, commit_ts-sorted
+  std::vector<std::shared_ptr<Slot>> queue_;   // awaiting force
+  bool flush_active_{false};
+  bool hold_flushes_{false};
+  std::uint64_t generation_{0};  // bumped by drop_pending
+  std::chrono::microseconds force_delay_{0};
+  GroupStats stats_;
 };
 
 }  // namespace argus

@@ -41,7 +41,10 @@ class Transaction : public std::enable_shared_from_this<Transaction> {
 
   /// Timestamp chosen at initiation. Used as the serialization timestamp
   /// by static-atomic objects (all transactions) and by hybrid-atomic
-  /// objects (read-only transactions only).
+  /// objects (read-only transactions only). Under the pipelined commit
+  /// path, a read-only transaction's begin returns only after the
+  /// manager's visibility watermark covers this timestamp: every commit
+  /// below it has fully applied (§4.3.3's invariant by construction).
   [[nodiscard]] Timestamp start_ts() const { return start_ts_; }
 
   /// Timestamp assigned at commit (hybrid updates); kNoTimestamp before.

@@ -36,6 +36,41 @@ TEST(LatencyStats, Merge) {
   EXPECT_DOUBLE_EQ(a.max(), 5.0);
 }
 
+TEST(LatencyStats, ReservoirRetainsLateObservations) {
+  // The first-N truncation this replaced kept only the earliest kSampleCap
+  // observations, so percentiles of a long run reflected warm-up only.
+  // Under Algorithm R every observation has equal retention probability:
+  // after 2x cap increasing values, the sample must contain second-half
+  // values, so the top percentile lands far above the cap boundary.
+  LatencyStats stats;
+  const auto n = 2 * LatencyStats::kSampleCap;
+  for (std::size_t i = 0; i < n; ++i) stats.add(static_cast<double>(i));
+  EXPECT_EQ(stats.count(), n);
+  EXPECT_DOUBLE_EQ(stats.mean(), static_cast<double>(n - 1) / 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), static_cast<double>(n - 1));
+  EXPECT_GT(stats.percentile(1.0),
+            static_cast<double>(LatencyStats::kSampleCap));
+  // And the retained sample stays representative: the median of uniform
+  // 0..n-1 is near n/2, which first-N truncation would report as ~cap/2.
+  EXPECT_NEAR(stats.percentile(0.5), static_cast<double>(n) / 2.0,
+              static_cast<double>(n) * 0.05);
+}
+
+TEST(LatencyStats, MergeOfOverCapStreamsKeepsBothPopulations) {
+  LatencyStats a;
+  LatencyStats b;
+  const auto n = LatencyStats::kSampleCap + LatencyStats::kSampleCap / 2;
+  for (std::size_t i = 0; i < n; ++i) a.add(100.0);
+  for (std::size_t i = 0; i < n; ++i) b.add(200.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2 * n);
+  EXPECT_DOUBLE_EQ(a.mean(), 150.0);  // exact: totals merge outside the sample
+  // Equal-weight sides: the merged reservoir holds roughly half of each,
+  // so the outer quartiles expose both populations.
+  EXPECT_DOUBLE_EQ(a.percentile(0.25), 100.0);
+  EXPECT_DOUBLE_EQ(a.percentile(0.75), 200.0);
+}
+
 TEST(WorkloadResult, DerivedMetrics) {
   WorkloadResult r;
   r.seconds = 2.0;
