@@ -52,7 +52,7 @@ template <AdtTraits A>
 class DynamicAtomicObject final : public ObjectBase {
  public:
   DynamicAtomicObject(ObjectId oid, std::string name, TransactionManager& tm,
-                      HistoryRecorder* recorder,
+                      EventSink* recorder,
                       AdmissionMode mode = AdmissionMode::kExact)
       : ObjectBase(oid, std::move(name), tm, recorder), mode_(mode) {}
 

@@ -3,7 +3,7 @@
 namespace argus {
 
 EscrowAccount::EscrowAccount(ObjectId oid, std::string name,
-                             TransactionManager& tm, HistoryRecorder* recorder)
+                             TransactionManager& tm, EventSink* recorder)
     : ObjectBase(oid, std::move(name), tm, recorder) {}
 
 Value EscrowAccount::invoke(Transaction& txn, const Operation& op) {

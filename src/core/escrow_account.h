@@ -47,7 +47,7 @@ namespace argus {
 class EscrowAccount final : public ObjectBase {
  public:
   EscrowAccount(ObjectId oid, std::string name, TransactionManager& tm,
-                HistoryRecorder* recorder);
+                EventSink* recorder);
 
   Value invoke(Transaction& txn, const Operation& op) override;
   void prepare(Transaction& txn) override;

@@ -3,7 +3,7 @@
 namespace argus {
 
 HybridBag::HybridBag(ObjectId oid, std::string name, TransactionManager& tm,
-                     HistoryRecorder* recorder)
+                     EventSink* recorder)
     : ObjectBase(oid, std::move(name), tm, recorder) {}
 
 Value HybridBag::invoke(Transaction& txn, const Operation& op) {

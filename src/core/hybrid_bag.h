@@ -41,7 +41,7 @@ namespace argus {
 class HybridBag final : public ObjectBase {
  public:
   HybridBag(ObjectId oid, std::string name, TransactionManager& tm,
-            HistoryRecorder* recorder);
+            EventSink* recorder);
 
   Value invoke(Transaction& txn, const Operation& op) override;
   void prepare(Transaction& txn) override;

@@ -39,7 +39,7 @@ template <AdtTraits A>
 class HybridAtomicObject final : public ObjectBase {
  public:
   HybridAtomicObject(ObjectId oid, std::string name, TransactionManager& tm,
-                     HistoryRecorder* recorder)
+                     EventSink* recorder)
       : ObjectBase(oid, std::move(name), tm, recorder) {}
 
   Value invoke(Transaction& txn, const Operation& op) override {

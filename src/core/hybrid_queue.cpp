@@ -4,7 +4,7 @@ namespace argus {
 
 HybridFifoQueue::HybridFifoQueue(ObjectId oid, std::string name,
                                  TransactionManager& tm,
-                                 HistoryRecorder* recorder)
+                                 EventSink* recorder)
     : ObjectBase(oid, std::move(name), tm, recorder) {}
 
 Value HybridFifoQueue::invoke(Transaction& txn, const Operation& op) {

@@ -40,7 +40,7 @@ namespace argus {
 class HybridFifoQueue final : public ObjectBase {
  public:
   HybridFifoQueue(ObjectId oid, std::string name, TransactionManager& tm,
-                  HistoryRecorder* recorder);
+                  EventSink* recorder);
 
   Value invoke(Transaction& txn, const Operation& op) override;
   void prepare(Transaction& txn) override;

@@ -11,6 +11,7 @@ void ObjectBase::await(
         blockers) {
   if (pred()) return;
 
+  waits_.fetch_add(1, std::memory_order_relaxed);
   txn.set_waiting_at(this);
   const auto cleanup = on_scope_exit([&] {
     txn.set_waiting_at(nullptr);
@@ -20,9 +21,13 @@ void ObjectBase::await(
   const auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
   while (!pred()) {
     if (txn.doomed()) {
+      if (txn.doom_reason() == AbortReason::kDeadlock) {
+        deadlock_dooms_.fetch_add(1, std::memory_order_relaxed);
+      }
       throw TransactionAborted(txn.id(), txn.doom_reason());
     }
     if (std::chrono::steady_clock::now() >= deadline) {
+      wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
       txn.doom(AbortReason::kWaitTimeout);
       continue;  // next iteration throws
     }

@@ -1,6 +1,7 @@
 // ObjectBase: shared machinery for runtime atomic objects — the object's
-// monitor (mutex + condition variable), event recording, and a blocking
-// wait primitive integrated with deadlock detection and doom wake-up.
+// monitor (mutex + condition variable), event recording, per-object
+// telemetry counters, and a blocking wait primitive integrated with
+// deadlock detection and doom wake-up.
 //
 // All protocol objects follow the same discipline: take the monitor,
 // record the invocation event, await() until the protocol's admission
@@ -9,21 +10,40 @@
 // critical section guarantees the captured history is a faithful
 // observation: any response that depends on a commit is recorded after
 // that commit event.
+//
+// Events flow through an EventSink (obs/event_sink.h) — the sharded
+// FlightRecorder in production, the global-mutex HistoryRecorder as the
+// reference implementation, or nullptr when capture is off. Counters are
+// maintained unconditionally (relaxed atomics); the runtime's metrics
+// registry scrapes them per object.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/event_sink.h"
 #include "txn/managed_object.h"
 #include "txn/manager.h"
-#include "txn/recorder.h"
 
 namespace argus {
+
+/// Per-object telemetry, scraped by the metrics registry
+/// (argus_object_* series; see README "Observability").
+struct ObjectCounters {
+  std::uint64_t invocations{0};
+  std::uint64_t commits{0};
+  std::uint64_t aborts{0};
+  std::uint64_t waits{0};          // invocations that blocked in await()
+  std::uint64_t wait_timeouts{0};  // waits that doomed their transaction
+  std::uint64_t deadlock_dooms{0};  // waits doomed as deadlock victims
+};
 
 class ObjectBase : public ManagedObject {
  public:
@@ -38,13 +58,38 @@ class ObjectBase : public ManagedObject {
     wait_timeout_ = timeout;
   }
 
+  [[nodiscard]] ObjectCounters counters() const {
+    ObjectCounters out;
+    out.invocations = invocations_.load(std::memory_order_relaxed);
+    out.commits = commits_.load(std::memory_order_relaxed);
+    out.aborts = aborts_.load(std::memory_order_relaxed);
+    out.waits = waits_.load(std::memory_order_relaxed);
+    out.wait_timeouts = wait_timeouts_.load(std::memory_order_relaxed);
+    out.deadlock_dooms = deadlock_dooms_.load(std::memory_order_relaxed);
+    return out;
+  }
+
  protected:
   ObjectBase(ObjectId id, std::string name, TransactionManager& tm,
-             HistoryRecorder* recorder)
-      : tm_(tm), recorder_(recorder), id_(id), name_(std::move(name)) {}
+             EventSink* sink)
+      : tm_(tm), sink_(sink), id_(id), name_(std::move(name)) {}
 
   void record(Event e) {
-    if (recorder_ != nullptr) recorder_->record(std::move(e));
+    switch (e.kind) {
+      case EventKind::kInvoke:
+        invocations_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case EventKind::kCommit:
+        commits_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case EventKind::kAbort:
+        aborts_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case EventKind::kRespond:
+      case EventKind::kInitiate:
+        break;
+    }
+    if (sink_ != nullptr) sink_->record(std::move(e));
   }
 
   /// Blocks (releasing `lock`) until pred() holds. While blocked:
@@ -58,7 +103,7 @@ class ObjectBase : public ManagedObject {
                  blockers);
 
   TransactionManager& tm_;
-  HistoryRecorder* recorder_;
+  EventSink* sink_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
 
@@ -66,6 +111,13 @@ class ObjectBase : public ManagedObject {
   const ObjectId id_;
   const std::string name_;
   std::chrono::milliseconds wait_timeout_{std::chrono::milliseconds(10000)};
+
+  std::atomic<std::uint64_t> invocations_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> waits_{0};
+  std::atomic<std::uint64_t> wait_timeouts_{0};
+  std::atomic<std::uint64_t> deadlock_dooms_{0};
 };
 
 }  // namespace argus

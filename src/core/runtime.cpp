@@ -1,10 +1,203 @@
 #include "core/runtime.h"
 
+#include <fstream>
+
 #include "common/errors.h"
 
 namespace argus {
 
-Runtime::Runtime(bool record_history) : recording_(record_history) {}
+Runtime::Runtime(RecorderMode mode, FlightRecorderOptions recorder_options)
+    : mode_(mode), metrics_(std::make_unique<MetricsRegistry>()) {
+  switch (mode_) {
+    case RecorderMode::kOff:
+      break;
+    case RecorderMode::kFlight:
+      flight_ =
+          std::make_unique<FlightRecorder>(tm_.clock(), recorder_options);
+      break;
+    case RecorderMode::kLegacyMutex:
+      legacy_ = std::make_unique<HistoryRecorder>();
+      break;
+  }
+  register_collectors();
+}
+
+Runtime::~Runtime() { stop_sentinel(); }
+
+History Runtime::history() const {
+  switch (mode_) {
+    case RecorderMode::kOff:
+      return History{};  // explicitly empty: nothing was ever captured
+    case RecorderMode::kFlight:
+      return flight_->snapshot();
+    case RecorderMode::kLegacyMutex:
+      return legacy_->snapshot();
+  }
+  return History{};
+}
+
+AtomicitySentinel& Runtime::start_sentinel(SentinelOptions options) {
+  if (mode_ != RecorderMode::kFlight) {
+    throw UsageError("start_sentinel requires RecorderMode::kFlight");
+  }
+  if (sentinel_) throw UsageError("sentinel already running");
+  sentinel_ = std::make_unique<AtomicitySentinel>(
+      *flight_, system_, std::move(options), metrics_.get());
+  sentinel_->start();
+  return *sentinel_;
+}
+
+void Runtime::stop_sentinel() {
+  if (!sentinel_) return;
+  sentinel_->stop();
+  sentinel_.reset();
+}
+
+void Runtime::register_collectors() {
+  // Transaction manager, commit pipeline, clock and recovery: cheap
+  // struct reads sampled at scrape time (pull model — the hot paths are
+  // never asked to also feed a registry).
+  metrics_->describe("argus_txn_begun_total", "Transactions begun",
+                     "counter");
+  metrics_->describe("argus_txn_committed_total", "Transactions committed",
+                     "counter");
+  metrics_->describe("argus_txn_aborted_total",
+                     "Transactions aborted, by reason", "counter");
+  metrics_->describe("argus_commit_pipeline_commits_total",
+                     "Commits completed by the staged pipeline", "counter");
+  metrics_->describe("argus_commit_pipeline_seconds_total",
+                     "Cumulative time in each commit-pipeline stage",
+                     "counter");
+  metrics_->describe("argus_group_commit_forces_total",
+                     "Group-commit log flushes", "counter");
+  metrics_->describe("argus_group_commit_records_total",
+                     "Commit records forced to the stable log", "counter");
+  metrics_->describe("argus_group_commit_max_batch",
+                     "Largest single-flush group-commit batch", "gauge");
+  metrics_->describe("argus_clock_timestamp",
+                     "Current Lamport clock value", "gauge");
+  metrics_->describe("argus_commit_watermark",
+                     "Commit visibility watermark", "gauge");
+  metrics_->describe("argus_watermark_lag",
+                     "Clock distance the watermark trails by", "gauge");
+  metrics_->describe("argus_inflight_commits",
+                     "Commits between timestamp draw and apply", "gauge");
+  metrics_->describe("argus_deadlocks_resolved_total",
+                     "Deadlock cycles broken by victim selection", "counter");
+  metrics_->describe("argus_recovery_replayed_records_total",
+                     "Commit records replayed by recover()", "counter");
+  metrics_->describe("argus_recovery_replayed_ops_total",
+                     "Logged operations replayed by recover()", "counter");
+  metrics_->add_collector([this]() {
+    std::vector<MetricSample> out;
+    const TxnStats txn = tm_.stats();
+    out.push_back({"argus_txn_begun_total", {}, double(txn.begun)});
+    out.push_back({"argus_txn_committed_total", {}, double(txn.committed)});
+    for (const auto& [reason, n] : txn.aborted_by_reason) {
+      out.push_back(
+          {"argus_txn_aborted_total", {{"reason", to_string(reason)}},
+           double(n)});
+    }
+    const CommitPipelineStats p = tm_.pipeline_stats();
+    out.push_back(
+        {"argus_commit_pipeline_commits_total", {}, double(p.commits)});
+    const std::pair<const char*, std::uint64_t> stages[] = {
+        {"validate", p.validate_us},
+        {"timestamp", p.timestamp_us},
+        {"log", p.log_us},
+        {"apply", p.apply_us},
+    };
+    for (const auto& [stage, us] : stages) {
+      out.push_back({"argus_commit_pipeline_seconds_total",
+                     {{"stage", stage}},
+                     double(us) * 1e-6});
+    }
+    out.push_back(
+        {"argus_group_commit_forces_total", {}, double(p.log_forces)});
+    out.push_back(
+        {"argus_group_commit_records_total", {}, double(p.log_records)});
+    out.push_back({"argus_group_commit_max_batch", {}, double(p.max_batch)});
+    out.push_back({"argus_clock_timestamp", {}, double(p.clock_now)});
+    out.push_back({"argus_commit_watermark", {}, double(p.watermark)});
+    out.push_back({"argus_watermark_lag", {}, double(p.watermark_lag())});
+    out.push_back(
+        {"argus_inflight_commits", {}, double(tm_.clock().inflight())});
+    out.push_back({"argus_deadlocks_resolved_total",
+                   {},
+                   double(tm_.detector().deadlocks_resolved())});
+    out.push_back(
+        {"argus_recovery_replayed_records_total",
+         {},
+         double(recovery_replayed_records_.load(std::memory_order_relaxed))});
+    out.push_back(
+        {"argus_recovery_replayed_ops_total",
+         {},
+         double(recovery_replayed_ops_.load(std::memory_order_relaxed))});
+    return out;
+  });
+
+  // Per-object counters (label sets grow with create_*, so a collector
+  // rather than pre-registered handles).
+  metrics_->describe("argus_object_invocations_total",
+                     "Operations invoked, per object", "counter");
+  metrics_->describe("argus_object_commits_total",
+                     "Commit events applied, per object", "counter");
+  metrics_->describe("argus_object_aborts_total",
+                     "Abort events applied, per object", "counter");
+  metrics_->describe("argus_object_waits_total",
+                     "Invocations that blocked in await(), per object",
+                     "counter");
+  metrics_->describe("argus_object_wait_timeouts_total",
+                     "Waits that doomed their transaction, per object",
+                     "counter");
+  metrics_->describe("argus_object_deadlock_dooms_total",
+                     "Waits doomed as deadlock victims, per object",
+                     "counter");
+  metrics_->add_collector([this]() {
+    std::vector<MetricSample> out;
+    for (const auto& [id, obj] : objects_) {
+      auto base = std::dynamic_pointer_cast<ObjectBase>(obj);
+      if (!base) continue;
+      const ObjectCounters c = base->counters();
+      const MetricLabels labels{{"object", base->name()}};
+      out.push_back(
+          {"argus_object_invocations_total", labels, double(c.invocations)});
+      out.push_back({"argus_object_commits_total", labels, double(c.commits)});
+      out.push_back({"argus_object_aborts_total", labels, double(c.aborts)});
+      out.push_back({"argus_object_waits_total", labels, double(c.waits)});
+      out.push_back({"argus_object_wait_timeouts_total", labels,
+                     double(c.wait_timeouts)});
+      out.push_back({"argus_object_deadlock_dooms_total", labels,
+                     double(c.deadlock_dooms)});
+    }
+    return out;
+  });
+
+  // Recorder health.
+  metrics_->describe("argus_recorder_events_total",
+                     "Events ever recorded (including ring-evicted)",
+                     "counter");
+  metrics_->describe("argus_recorder_dropped_total",
+                     "Events evicted by bounded shards", "counter");
+  metrics_->describe("argus_recorder_shards",
+                     "Flight-recorder shards (distinct recording threads)",
+                     "gauge");
+  metrics_->add_collector([this]() {
+    std::vector<MetricSample> out;
+    if (flight_) {
+      out.push_back(
+          {"argus_recorder_events_total", {}, double(flight_->total_recorded())});
+      out.push_back(
+          {"argus_recorder_dropped_total", {}, double(flight_->dropped())});
+      out.push_back(
+          {"argus_recorder_shards", {}, double(flight_->shard_count())});
+    } else if (legacy_) {
+      out.push_back(
+          {"argus_recorder_events_total", {}, double(legacy_->size())});
+    }
+    return out;
+  });
+}
 
 std::shared_ptr<HybridFifoQueue> Runtime::create_hybrid_queue(
     const std::string& name) {
@@ -57,17 +250,27 @@ void Runtime::set_wait_timeout_all(std::chrono::milliseconds timeout) {
   }
 }
 
-void Runtime::crash() { tm_.doom_all_active(AbortReason::kCrash); }
+void Runtime::crash() {
+  tm_.doom_all_active(AbortReason::kCrash);
+  if (flight_ && !crash_dump_path_.empty()) {
+    // Black-box dump: the recorder tail in the parse.h notation, replayable
+    // through examples/check_history_file.
+    std::ofstream out(crash_dump_path_, std::ios::trunc);
+    if (out) out << flight_->tail(crash_dump_events_).to_string();
+  }
+}
 
 void Runtime::recover() {
   for (const auto& [id, obj] : objects_) obj->reset_for_recovery();
   for (const CommitLogRecord& record : tm_.log().records()) {
+    recovery_replayed_records_.fetch_add(1, std::memory_order_relaxed);
     const ReplayContext ctx{record.txn, record.commit_ts, record.start_ts};
     for (const CommitLogRecord::Entry& entry : record.entries) {
       auto it = objects_.find(entry.object);
       if (it == objects_.end()) continue;  // object not recreated: skip
       for (const LoggedOp& logged : entry.ops) {
         it->second->replay(ctx, logged);
+        recovery_replayed_ops_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }

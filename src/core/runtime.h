@@ -1,6 +1,7 @@
-// Runtime: owns the transaction manager, the (optional) history recorder,
-// the objects, and the system specification mirror used to check recorded
-// histories against the formal definitions.
+// Runtime: owns the transaction manager, the observability stack (flight
+// recorder, metrics registry, optional atomicity sentinel), the objects,
+// and the system specification mirror used to check recorded histories
+// against the formal definitions.
 //
 // Typical use:
 //
@@ -11,14 +12,29 @@
 //   rt.commit(tx);
 //   auto verdict = check_dynamic_atomic(rt.system(), rt.history());
 //
+// Observability (see DESIGN.md "Observability"):
+//
+//   * Events are captured by a sharded FlightRecorder stamped from the
+//     manager's Lamport clock (RecorderMode::kFlight, the default); the
+//     seed's global-mutex HistoryRecorder remains available as
+//     kLegacyMutex for comparison, and kOff disables capture.
+//   * metrics() is a MetricsRegistry pre-wired with collectors for the
+//     commit pipeline, clock/watermark, per-object counters, recorder
+//     and recovery — export with metrics().prometheus_text() / .json().
+//   * start_sentinel() attaches an AtomicitySentinel that continuously
+//     checks the committed projection of the recorded history
+//     (create objects first; the sentinel snapshots the system spec).
+//
 // crash()/recover() simulate a whole-node failure: crash dooms every
 // active transaction (their threads unwind with TransactionAborted) and
 // drains the commit pipeline — group-commit records not yet forced are
 // discarded and their committers abort, while records already forced
-// complete their apply. After the caller has joined its worker threads,
-// recover() resets every object and replays the stable intentions log
-// (forced records only, in commit-timestamp order), restoring exactly
-// the committed effects.
+// complete their apply. If a crash-dump path is set, crash() also writes
+// the flight-recorder tail in the parse.h notation so the last moments
+// before the failure can be replayed through examples/check_history_file.
+// After the caller has joined its worker threads, recover() resets every
+// object and replays the stable intentions log (forced records only, in
+// commit-timestamp order), restoring exactly the committed effects.
 #pragma once
 
 #include <memory>
@@ -32,6 +48,9 @@
 #include "core/hybrid_object.h"
 #include "core/hybrid_queue.h"
 #include "core/static_object.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+#include "obs/sentinel.h"
 #include "txn/manager.h"
 #include "txn/recorder.h"
 
@@ -39,17 +58,72 @@ namespace argus {
 
 class Runtime {
  public:
-  /// `record_history` disables event capture when false (benchmarks).
-  explicit Runtime(bool record_history = true);
+  enum class RecorderMode {
+    kOff,          // no capture (objects get a null sink)
+    kFlight,       // sharded flight recorder (default)
+    kLegacyMutex,  // seed behaviour: one global mutex (HistoryRecorder)
+  };
+
+  explicit Runtime(RecorderMode mode,
+                   FlightRecorderOptions recorder_options = {});
+
+  /// Back-compat: `record_history` false maps to kOff, true to kFlight.
+  explicit Runtime(bool record_history = true)
+      : Runtime(record_history ? RecorderMode::kFlight : RecorderMode::kOff) {}
+
+  ~Runtime();
 
   [[nodiscard]] TransactionManager& tm() { return tm_; }
-  [[nodiscard]] HistoryRecorder* recorder() {
-    return recording_ ? &recorder_ : nullptr;
+
+  /// The sink protocol objects record through; nullptr iff capture is
+  /// off.
+  [[nodiscard]] EventSink* recorder() {
+    switch (mode_) {
+      case RecorderMode::kOff:
+        return nullptr;
+      case RecorderMode::kFlight:
+        return flight_.get();
+      case RecorderMode::kLegacyMutex:
+        return legacy_.get();
+    }
+    return nullptr;
   }
+
+  [[nodiscard]] RecorderMode recorder_mode() const { return mode_; }
+  [[nodiscard]] bool recording() const { return mode_ != RecorderMode::kOff; }
+
+  /// The flight recorder (nullptr unless the mode is kFlight).
+  [[nodiscard]] FlightRecorder* flight_recorder() { return flight_.get(); }
+
   [[nodiscard]] const SystemSpec& system() const { return system_; }
 
-  /// The recorded global history so far.
-  [[nodiscard]] History history() const { return recorder_.snapshot(); }
+  /// The recorded global history so far. With recording off this is
+  /// explicitly the empty history — check recording() (or recorder() !=
+  /// nullptr) to distinguish "no events yet" from "not recording".
+  [[nodiscard]] History history() const;
+
+  /// The runtime-wide metrics registry (commit pipeline, clock and
+  /// watermark, per-object counters, recorder, recovery, sentinel).
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Starts the online atomicity sentinel over the flight recorder.
+  /// Requires RecorderMode::kFlight; create objects first (the sentinel
+  /// snapshots the system spec). Returns the running sentinel.
+  AtomicitySentinel& start_sentinel(SentinelOptions options = {});
+
+  /// Stops and destroys the sentinel, if one is running (its final
+  /// window flushes whatever the recorder still holds).
+  void stop_sentinel();
+
+  [[nodiscard]] AtomicitySentinel* sentinel() { return sentinel_.get(); }
+
+  /// When set, crash() writes the last `events` flight-recorder events
+  /// to `path` in the parse.h notation (replayable by
+  /// examples/check_history_file).
+  void set_crash_dump(std::string path, std::size_t events = 4096) {
+    crash_dump_path_ = std::move(path);
+    crash_dump_events_ = events;
+  }
 
   std::shared_ptr<Transaction> begin() { return tm_.begin(TxnKind::kUpdate); }
   std::shared_ptr<Transaction> begin_read_only() {
@@ -99,7 +173,8 @@ class Runtime {
   void set_wait_timeout_all(std::chrono::milliseconds timeout);
 
   /// Node failure: dooms all active transactions and discards un-forced
-  /// group-commit records. Join your worker threads, then call recover().
+  /// group-commit records; writes the crash dump if configured. Join
+  /// your worker threads, then call recover().
   void crash();
 
   /// Rebuilds every object from the stable intentions log.
@@ -115,10 +190,19 @@ class Runtime {
     return obj;
   }
 
-  bool recording_;
+  void register_collectors();
+
+  RecorderMode mode_;
   TransactionManager tm_;
-  HistoryRecorder recorder_;
+  std::unique_ptr<FlightRecorder> flight_;   // kFlight mode
+  std::unique_ptr<HistoryRecorder> legacy_;  // kLegacyMutex mode
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<AtomicitySentinel> sentinel_;
   SystemSpec system_;
+  std::string crash_dump_path_;
+  std::size_t crash_dump_events_{4096};
+  std::atomic<std::uint64_t> recovery_replayed_records_{0};
+  std::atomic<std::uint64_t> recovery_replayed_ops_{0};
   std::uint64_t next_object_id_{0};
   std::unordered_map<ObjectId, std::shared_ptr<ManagedObject>> objects_;
 };

@@ -44,7 +44,7 @@ template <AdtTraits A>
 class StaticAtomicObject final : public ObjectBase {
  public:
   StaticAtomicObject(ObjectId oid, std::string name, TransactionManager& tm,
-                     HistoryRecorder* recorder)
+                     EventSink* recorder)
       : ObjectBase(oid, std::move(name), tm, recorder) {}
 
   Value invoke(Transaction& txn, const Operation& op) override {

@@ -1,0 +1,26 @@
+// EventSink: the recording interface between protocol objects and any
+// observer of the event stream.
+//
+// Protocol objects emit the paper's events (invoke/respond/commit/abort/
+// initiate) from inside the critical section where the event takes
+// effect, so whatever sits behind this interface observes a faithful
+// computation. Two implementations exist: the seed's global-mutex
+// HistoryRecorder (txn/recorder.h, kept as a reference and for tests that
+// want strict arrival-order capture) and the sharded FlightRecorder
+// (obs/flight_recorder.h), the production path.
+#pragma once
+
+#include "hist/event.h"
+
+namespace argus {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Called with the object's monitor held; implementations must be
+  /// cheap and must not call back into the object.
+  virtual void record(Event e) = 0;
+};
+
+}  // namespace argus

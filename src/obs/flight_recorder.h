@@ -1,0 +1,148 @@
+// FlightRecorder: a sharded, always-on capture of the event stream whose
+// output is a well-formed History — the paper's computation, produced as
+// production telemetry rather than a test artifact.
+//
+// Design:
+//
+//   * One shard per recording thread (bound thread-locally on first
+//     record). Each shard is an append-only buffer guarded by its own
+//     leaf mutex, so the common-case record() is an uncontended lock, a
+//     sequence draw, and a push — no cross-thread cache traffic. The
+//     seed's HistoryRecorder serialized every event of every thread on
+//     one global mutex, which made it a second commit lock; benchmarks
+//     had to disable it, so exactly the high-concurrency executions the
+//     checkers exist for were the ones that could not be observed.
+//
+//   * Every event is stamped with a sequence drawn from the runtime's
+//     LamportClock — the same counter that issues commit and initiation
+//     timestamps. The draw happens inside the critical section in which
+//     the event takes effect, so sorting by sequence reconstructs a
+//     faithful observation of the computation (the same guarantee the
+//     global mutex gave), and event sequences are directly comparable
+//     with the timestamps embedded in the events themselves.
+//
+//   * snapshot() / drain_new() merge the shards in sequence order.
+//     snapshot() is non-destructive and returns the full retained
+//     History (HistoryRecorder-compatible, used by Runtime::history()
+//     and tests). drain_new() advances per-shard cursors and returns
+//     only events not yet drained — the incremental feed consumed by the
+//     atomicity sentinel (obs/sentinel.h). The two coexist.
+//
+//   * Bounded-memory mode (shard_capacity > 0) turns each shard into a
+//     ring that keeps the last N events, for always-on crash dumps:
+//     Runtime::crash() writes tail() in the parse.h notation so the
+//     final moments of a failed node can be replayed through
+//     examples/check_history_file.
+//
+// Threads that exit leave their shard behind (its events are still part
+// of the history); a new thread gets a fresh shard. Shard count is
+// therefore bounded by the number of distinct recording threads over the
+// recorder's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hist/history.h"
+#include "obs/event_sink.h"
+#include "txn/clock.h"
+
+namespace argus {
+
+struct FlightRecorderOptions {
+  /// 0 = unbounded shards (full history retained). N > 0 = each shard
+  /// keeps only its most recent N events (crash-dump mode).
+  std::size_t shard_capacity{0};
+};
+
+/// An event plus the global sequence number it was stamped with.
+struct SequencedEvent {
+  std::uint64_t seq{0};
+  Event event;
+};
+
+class FlightRecorder final : public EventSink {
+ public:
+  explicit FlightRecorder(LamportClock& clock,
+                          FlightRecorderOptions options = {});
+  ~FlightRecorder() override;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends to the calling thread's shard. Thread-safe, wait-free
+  /// against other recording threads (they touch different shards).
+  void record(Event e) override;
+
+  /// The retained events of all shards merged in sequence order.
+  /// Non-destructive; with bounded shards this is the flight-recorder
+  /// tail rather than the full history.
+  [[nodiscard]] History snapshot() const;
+
+  /// The last `max_events` retained events, merged in sequence order.
+  [[nodiscard]] History tail(std::size_t max_events) const;
+
+  /// Events recorded since the previous drain_new() call, merged in
+  /// sequence order. Advances the drain cursors (snapshot() is
+  /// unaffected). Note that a slow recording thread can publish an event
+  /// with a smaller sequence than one already drained from another
+  /// shard; consumers that need a total order must sort across windows
+  /// (the sentinel does).
+  [[nodiscard]] std::vector<SequencedEvent> drain_new();
+
+  /// Discards all retained events and resets drain cursors.
+  void clear();
+
+  /// Retained event count across shards.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Events ever recorded (including ring-evicted ones).
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Events evicted by bounded shards (0 in unbounded mode).
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t shard_count() const;
+
+  /// Current value of the sequence source (the runtime's Lamport clock).
+  [[nodiscard]] std::uint64_t sequence_now() const { return clock_.now(); }
+
+  [[nodiscard]] const FlightRecorderOptions& options() const {
+    return options_;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Logical stream: events [appended - buffer.size(), appended). In
+    // bounded mode `buffer` is a ring indexed modulo capacity; in
+    // unbounded mode it simply grows.
+    std::vector<SequencedEvent> buffer;
+    std::uint64_t appended{0};   // events ever appended to this shard
+    std::uint64_t drained{0};    // logical index of the next undrained event
+  };
+
+  Shard& local_shard();
+  /// Copies the retained events of every shard (each slice is
+  /// seq-ascending: one writer per shard, sequence drawn under its lock).
+  [[nodiscard]] std::vector<std::vector<SequencedEvent>> copy_shards() const;
+
+  LamportClock& clock_;
+  const FlightRecorderOptions options_;
+  const std::uint64_t instance_id_;  // thread-local binding key; never reused
+
+  mutable std::mutex shards_mu_;  // guards shards_ (vector growth only)
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> total_recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace argus

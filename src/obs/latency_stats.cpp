@@ -1,0 +1,85 @@
+#include "obs/latency_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace argus {
+
+void LatencyStats::add(double micros) {
+  ++count_;
+  total_ += micros;
+  max_ = std::max(max_, micros);
+  // Algorithm R: the i-th observation replaces a random slot with
+  // probability cap/i, keeping inclusion probability uniform.
+  if (sample_.size() < kSampleCap) {
+    sample_.push_back(micros);
+  } else {
+    const std::uint64_t j = rng_.below(count_);
+    if (j < kSampleCap) sample_[static_cast<std::size_t>(j)] = micros;
+  }
+}
+
+void LatencyStats::merge(const LatencyStats& other) {
+  const std::uint64_t n_self = count_;
+  const std::uint64_t n_other = other.count_;
+  count_ += other.count_;
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+  if (sample_.size() + other.sample_.size() <= kSampleCap) {
+    sample_.insert(sample_.end(), other.sample_.begin(), other.sample_.end());
+    return;
+  }
+  // Draw the merged reservoir from both sides without replacement,
+  // picking each next element from a side with probability proportional
+  // to the observation count it represents.
+  std::vector<double> mine = std::move(sample_);
+  std::vector<double> theirs = other.sample_;
+  sample_.clear();
+  sample_.reserve(kSampleCap);
+  double weight_self = static_cast<double>(n_self);
+  double weight_other = static_cast<double>(n_other);
+  const double per_self =
+      mine.empty() ? 0.0 : weight_self / static_cast<double>(mine.size());
+  const double per_other =
+      theirs.empty() ? 0.0
+                     : weight_other / static_cast<double>(theirs.size());
+  auto take = [&](std::vector<double>& from) {
+    const std::size_t i = static_cast<std::size_t>(rng_.below(from.size()));
+    sample_.push_back(from[i]);
+    from[i] = from.back();
+    from.pop_back();
+  };
+  while (sample_.size() < kSampleCap && (!mine.empty() || !theirs.empty())) {
+    if (mine.empty()) {
+      take(theirs);
+      weight_other -= per_other;
+    } else if (theirs.empty()) {
+      take(mine);
+      weight_self -= per_self;
+    } else {
+      const double total = weight_self + weight_other;
+      const double roll = static_cast<double>(rng_.below(1u << 30)) /
+                          static_cast<double>(1u << 30) * total;
+      if (roll < weight_self) {
+        take(mine);
+        weight_self -= per_self;
+      } else {
+        take(theirs);
+        weight_other -= per_other;
+      }
+    }
+  }
+}
+
+double LatencyStats::percentile(double q) const {
+  if (sample_.empty()) return 0.0;
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace argus

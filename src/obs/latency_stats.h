@@ -1,0 +1,48 @@
+// Online latency/value aggregation with a bounded reservoir sample for
+// percentiles, shared by the benchmark harness (sim/metrics.h) and the
+// MetricsRegistry's histograms so both report identical quantiles.
+//
+// add() runs Algorithm R, so every observation has equal probability of
+// being retained regardless of arrival position — the sample stays
+// unbiased under arbitrarily long runs (a first-N truncation would
+// over-weight warm-up latencies).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace argus {
+
+class LatencyStats {
+ public:
+  static constexpr std::size_t kSampleCap = 65536;
+
+  void add(double micros);
+
+  /// Merges another aggregate into this one. When the combined samples
+  /// fit under the cap this is exact concatenation; otherwise the merged
+  /// reservoir draws from each side proportionally to its observation
+  /// count, preserving (approximately) uniform inclusion probability.
+  void merge(const LatencyStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double max() const { return max_; }
+  /// q in [0,1]; computed from the retained sample (all points when fewer
+  /// than the cap were observed).
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  std::uint64_t count_{0};
+  double total_{0.0};
+  double max_{0.0};
+  std::vector<double> sample_;
+  SplitMix64 rng_{0x61727573u};  // fixed seed: deterministic replacement
+};
+
+}  // namespace argus

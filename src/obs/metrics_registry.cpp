@@ -1,0 +1,250 @@
+#include "obs/metrics_registry.h"
+
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace argus {
+
+namespace {
+
+std::string escape_label_value(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string render_labels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string format_value(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(Kind kind,
+                                                        const std::string& name,
+                                                        const std::string& help,
+                                                        MetricLabels labels) {
+  const std::scoped_lock lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      if (e->kind != kind) {
+        throw UsageError("metric " + name +
+                         " re-registered with a different type");
+      }
+      return *e;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+    case Kind::kCallbackGauge:
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  MetricLabels labels) {
+  return *find_or_create(Kind::kCounter, name, help, std::move(labels))
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              MetricLabels labels) {
+  return *find_or_create(Kind::kGauge, name, help, std::move(labels)).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      MetricLabels labels) {
+  return *find_or_create(Kind::kHistogram, name, help, std::move(labels))
+              .histogram;
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name,
+                                     const std::string& help,
+                                     MetricLabels labels,
+                                     std::function<double()> fn) {
+  find_or_create(Kind::kCallbackGauge, name, help, std::move(labels))
+      .callback = std::move(fn);
+}
+
+void MetricsRegistry::add_collector(
+    std::function<std::vector<MetricSample>()> fn) {
+  const std::scoped_lock lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+void MetricsRegistry::describe(const std::string& name, const std::string& help,
+                               const std::string& type) {
+  const std::scoped_lock lock(mu_);
+  descriptions_[name] = {help, type};
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  // Snapshot the entry pointers and collectors, then render without the
+  // registry lock held (callbacks may take other locks).
+  std::vector<const Entry*> entries;
+  std::vector<std::function<std::vector<MetricSample>()>> collectors;
+  std::map<std::string, std::pair<std::string, std::string>> descriptions;
+  {
+    const std::scoped_lock lock(mu_);
+    for (const auto& e : entries_) entries.push_back(e.get());
+    collectors = collectors_;
+    descriptions = descriptions_;
+  }
+
+  std::ostringstream out;
+  std::map<std::string, bool> header_written;
+  auto write_header = [&](const std::string& name, const std::string& help,
+                          const std::string& type) {
+    if (header_written[name]) return;
+    header_written[name] = true;
+    if (!help.empty()) out << "# HELP " << name << " " << help << "\n";
+    out << "# TYPE " << name << " " << type << "\n";
+  };
+
+  for (const Entry* e : entries) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        write_header(e->name, e->help, "counter");
+        out << e->name << render_labels(e->labels) << " "
+            << e->counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        write_header(e->name, e->help, "gauge");
+        out << e->name << render_labels(e->labels) << " "
+            << format_value(e->gauge->value()) << "\n";
+        break;
+      case Kind::kCallbackGauge:
+        write_header(e->name, e->help, "gauge");
+        out << e->name << render_labels(e->labels) << " "
+            << format_value(e->callback ? e->callback() : 0.0) << "\n";
+        break;
+      case Kind::kHistogram: {
+        write_header(e->name, e->help, "summary");
+        const LatencyStats stats = e->histogram->stats();
+        for (double q : {0.5, 0.95, 0.99}) {
+          MetricLabels labels = e->labels;
+          labels["quantile"] = format_value(q);
+          out << e->name << render_labels(labels) << " "
+              << format_value(stats.percentile(q)) << "\n";
+        }
+        out << e->name << "_sum" << render_labels(e->labels) << " "
+            << format_value(stats.total()) << "\n";
+        out << e->name << "_count" << render_labels(e->labels) << " "
+            << stats.count() << "\n";
+        break;
+      }
+    }
+  }
+  for (const auto& collect : collectors) {
+    for (const MetricSample& s : collect()) {
+      auto it = descriptions.find(s.name);
+      write_header(s.name, it == descriptions.end() ? "" : it->second.first,
+                   it == descriptions.end() ? "gauge" : it->second.second);
+      out << s.name << render_labels(s.labels) << " " << format_value(s.value)
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::json() const {
+  std::vector<const Entry*> entries;
+  std::vector<std::function<std::vector<MetricSample>()>> collectors;
+  {
+    const std::scoped_lock lock(mu_);
+    for (const auto& e : entries_) entries.push_back(e.get());
+    collectors = collectors_;
+  }
+
+  std::map<std::string, double> flat;
+  auto key_of = [](const std::string& name, const MetricLabels& labels) {
+    return name + render_labels(labels);
+  };
+  for (const Entry* e : entries) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        flat[key_of(e->name, e->labels)] =
+            static_cast<double>(e->counter->value());
+        break;
+      case Kind::kGauge:
+        flat[key_of(e->name, e->labels)] = e->gauge->value();
+        break;
+      case Kind::kCallbackGauge:
+        flat[key_of(e->name, e->labels)] = e->callback ? e->callback() : 0.0;
+        break;
+      case Kind::kHistogram: {
+        const LatencyStats stats = e->histogram->stats();
+        const std::string base = key_of(e->name, e->labels);
+        flat[base + ".count"] = static_cast<double>(stats.count());
+        flat[base + ".mean"] = stats.mean();
+        flat[base + ".max"] = stats.max();
+        flat[base + ".p50"] = stats.percentile(0.5);
+        flat[base + ".p95"] = stats.percentile(0.95);
+        flat[base + ".p99"] = stats.percentile(0.99);
+        break;
+      }
+    }
+  }
+  for (const auto& collect : collectors) {
+    for (const MetricSample& s : collect()) {
+      flat[key_of(s.name, s.labels)] = s.value;
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  for (const auto& [k, v] : flat) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string escaped;
+    for (char c : k) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    out << "  \"" << escaped << "\": " << format_value(v);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace argus

@@ -1,0 +1,145 @@
+// MetricsRegistry: one registry for every runtime counter, gauge and
+// histogram, exportable as Prometheus text exposition and as JSON.
+//
+// The seed grew three disjoint telemetry paths — TxnStats and
+// CommitPipelineStats structs polled by callers, and the ad-hoc
+// BENCH_*.json emitters in bench_common.h. This registry unifies them:
+// hot paths bump Counter/Histogram handles (relaxed atomics / a leaf
+// mutex around the shared LatencyStats core), cheap-to-read sources are
+// registered as callback gauges or collectors and sampled at scrape
+// time (the Prometheus collector pattern — the commit pipeline, clock
+// watermark and per-object counters cost nothing until someone asks).
+//
+// Metric identity is (name, labels). Handles returned by counter() /
+// gauge() / histogram() are stable for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/latency_stats.h"
+
+namespace argus {
+
+using MetricLabels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Quantile summary over the shared LatencyStats reservoir core (the
+/// same implementation the benchmark harness reports percentiles with).
+class Histogram {
+ public:
+  void observe(double v) {
+    const std::scoped_lock lock(mu_);
+    stats_.add(v);
+  }
+  [[nodiscard]] LatencyStats stats() const {
+    const std::scoped_lock lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyStats stats_;
+};
+
+/// One scraped value, as produced by callback gauges and collectors.
+struct MetricSample {
+  std::string name;
+  MetricLabels labels;
+  double value{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) the metric with this (name, labels) identity.
+  Counter& counter(const std::string& name, const std::string& help,
+                   MetricLabels labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               MetricLabels labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       MetricLabels labels = {});
+
+  /// A gauge whose value is computed at scrape time.
+  void gauge_callback(const std::string& name, const std::string& help,
+                      MetricLabels labels, std::function<double()> fn);
+
+  /// A collector emits a batch of samples at scrape time (used for
+  /// per-object counters, whose label sets are not known up front).
+  /// `help` / `type` metadata for collector-produced names can be
+  /// declared via describe().
+  void add_collector(std::function<std::vector<MetricSample>()> fn);
+
+  /// Declares help text and Prometheus type ("counter"/"gauge") for a
+  /// metric name emitted by a collector.
+  void describe(const std::string& name, const std::string& help,
+                const std::string& type);
+
+  /// Prometheus text exposition format (help/type comments + samples;
+  /// histograms render as summaries with quantile labels, _sum, _count).
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// The same data as a JSON object: {"name{labels}": value, ...};
+  /// histograms expand to mean/max/p50/p95/p99/count keys.
+  [[nodiscard]] std::string json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kCallbackGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    MetricLabels labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;
+  };
+
+  Entry& find_or_create(Kind kind, const std::string& name,
+                        const std::string& help, MetricLabels labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::function<std::vector<MetricSample>()>> collectors_;
+  std::map<std::string, std::pair<std::string, std::string>> descriptions_;
+};
+
+}  // namespace argus

@@ -1,0 +1,303 @@
+#include "obs/sentinel.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spec/serial.h"
+
+namespace argus {
+
+namespace {
+
+/// Deduplicates a candidate set by pairwise equality (same discipline as
+/// spec/serial.cpp: candidate sets stay tiny for our ADTs).
+void dedupe(std::vector<std::unique_ptr<SpecState>>& states) {
+  std::vector<std::unique_ptr<SpecState>> unique;
+  for (auto& s : states) {
+    bool dup = false;
+    for (const auto& u : unique) {
+      if (u->equals(*s)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) unique.push_back(std::move(s));
+  }
+  states = std::move(unique);
+}
+
+std::map<ObjectId, std::vector<std::unique_ptr<SpecState>>> clone_states(
+    const std::map<ObjectId, std::vector<std::unique_ptr<SpecState>>>& from) {
+  std::map<ObjectId, std::vector<std::unique_ptr<SpecState>>> out;
+  for (const auto& [x, set] : from) {
+    auto& dst = out[x];
+    dst.reserve(set.size());
+    for (const auto& s : set) dst.push_back(s->clone());
+  }
+  return out;
+}
+
+}  // namespace
+
+AtomicitySentinel::AtomicitySentinel(FlightRecorder& recorder,
+                                     const SystemSpec& system,
+                                     SentinelOptions options,
+                                     MetricsRegistry* metrics)
+    : recorder_(recorder), system_(system), options_(std::move(options)) {
+  if (metrics != nullptr) {
+    violations_metric_ = &metrics->counter(
+        "argus_sentinel_violations_total",
+        "atomicity violations found in the committed projection");
+    windows_metric_ = &metrics->counter("argus_sentinel_windows_total",
+                                        "sentinel drain+check windows run");
+    events_metric_ = &metrics->counter("argus_sentinel_events_total",
+                                       "events drained by the sentinel");
+    activities_metric_ =
+        &metrics->counter("argus_sentinel_activities_total",
+                          "committed activities verified serializable");
+    stragglers_metric_ = &metrics->counter(
+        "argus_sentinel_stragglers_total",
+        "activities that committed below an already-folded checkpoint");
+  }
+}
+
+AtomicitySentinel::~AtomicitySentinel() { stop(); }
+
+void AtomicitySentinel::start() {
+  const std::scoped_lock lock(thread_mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void AtomicitySentinel::stop() {
+  {
+    const std::scoped_lock lock(thread_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  {
+    const std::scoped_lock lock(thread_mu_);
+    running_ = false;
+  }
+}
+
+void AtomicitySentinel::run_loop() {
+  std::unique_lock lock(thread_mu_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, options_.window,
+                      [this] { return stop_requested_; });
+    lock.unlock();
+    poll();
+    lock.lock();
+  }
+  lock.unlock();
+  poll();  // final flush so stop() observes a fully checked stream
+}
+
+void AtomicitySentinel::poll() {
+  std::vector<std::string> found;
+  {
+    const std::scoped_lock lock(mu_);
+    const std::uint64_t clock_before = recorder_.sequence_now();
+    ingest(recorder_.drain_new());
+    check_window();
+    maybe_checkpoint();
+    prev_window_clock_ = clock_before;
+    windows_.fetch_add(1, std::memory_order_relaxed);
+    if (windows_metric_ != nullptr) windows_metric_->inc();
+    found.swap(pending_hooks_);
+  }
+  if (options_.on_violation) {
+    for (const std::string& explanation : found) {
+      options_.on_violation(explanation);
+    }
+  }
+}
+
+void AtomicitySentinel::ingest(const std::vector<SequencedEvent>& batch) {
+  events_seen_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (events_metric_ != nullptr) events_metric_->inc(batch.size());
+  for (const SequencedEvent& se : batch) {
+    ActivityBuffer& act = activities_[se.event.activity];
+    const bool terminated = act.committed || act.aborted;
+    switch (se.event.kind) {
+      case EventKind::kInitiate:
+        if (act.ts == kNoTimestamp) {
+          act.ts = se.event.timestamp;
+          if (!terminated) {
+            open_initiations_.insert(act.ts);
+            act.init_open = true;
+          }
+        }
+        break;
+      case EventKind::kCommit:
+        if (!act.committed && !act.aborted) {
+          act.committed = true;
+          act.first_commit_seq = se.seq;
+          if (se.event.has_timestamp() && act.ts == kNoTimestamp) {
+            act.ts = se.event.timestamp;  // hybrid update commit stamp
+          }
+          buffered_committed_events_ += act.events.size();
+          if (act.init_open) {
+            open_initiations_.erase(open_initiations_.find(act.ts));
+            act.init_open = false;
+          }
+        }
+        break;
+      case EventKind::kAbort:
+        if (!act.committed && !act.aborted) {
+          act.aborted = true;
+          act.events.clear();  // not part of the committed projection
+          act.events.shrink_to_fit();
+          if (act.init_open) {
+            open_initiations_.erase(open_initiations_.find(act.ts));
+            act.init_open = false;
+          }
+        }
+        break;
+      case EventKind::kInvoke:
+      case EventKind::kRespond:
+        break;
+    }
+    if (act.aborted) continue;
+    act.events.push_back(se);
+    if (act.committed) ++buffered_committed_events_;
+  }
+}
+
+void AtomicitySentinel::check_window() {
+  // Committed, unfolded activities in canonical (key) order, re-checked
+  // from the checkpoint each window: a straggler that commits late slots
+  // into its key position automatically.
+  std::vector<std::pair<std::uint64_t, ActivityId>> order;
+  for (auto& [id, act] : activities_) {
+    if (!act.committed || act.quarantined) continue;
+    if (act.key() <= checkpoint_key_ && checkpoint_key_ != 0) {
+      // Committed below an already-folded prefix; cannot be re-ordered
+      // into it. Count, quarantine, move on — not a protocol violation.
+      act.quarantined = true;
+      stragglers_.fetch_add(1, std::memory_order_relaxed);
+      if (stragglers_metric_ != nullptr) stragglers_metric_->inc();
+      continue;
+    }
+    order.emplace_back(act.key(), id);
+  }
+  std::sort(order.begin(), order.end());
+  auto states = clone_states(checkpoint_states_);
+  for (const auto& [key, id] : order) {
+    ActivityBuffer& act = activities_.at(id);
+    if (replay_activity(id, act, states) && !act.checked) {
+      act.checked = true;
+      activities_checked_.fetch_add(1, std::memory_order_relaxed);
+      if (activities_metric_ != nullptr) activities_metric_->inc();
+    }
+  }
+}
+
+void AtomicitySentinel::maybe_checkpoint() {
+  if (buffered_committed_events_ < options_.checkpoint_threshold) return;
+  // Frontier: no activity can still acquire a serialization key below
+  // it. Keys are drawn fresh from the clock, so any key not yet drawn
+  // exceeds the clock value at the previous window; keys already drawn
+  // but unterminated sit in open_initiations_.
+  std::uint64_t frontier = prev_window_clock_;
+  if (!open_initiations_.empty()) {
+    frontier = std::min(frontier, *open_initiations_.begin());
+  }
+  std::vector<std::pair<std::uint64_t, ActivityId>> fold;
+  for (auto& [id, act] : activities_) {
+    if (act.committed && !act.quarantined && act.key() < frontier) {
+      fold.emplace_back(act.key(), id);
+    }
+  }
+  std::sort(fold.begin(), fold.end());
+  for (const auto& [key, id] : fold) {
+    ActivityBuffer& act = activities_.at(id);
+    replay_activity(id, act, checkpoint_states_);
+    checkpoint_key_ = std::max(checkpoint_key_, key);
+    buffered_committed_events_ -= std::min(
+        buffered_committed_events_, act.events.size());
+    activities_.erase(id);
+  }
+  // Drop terminated tombstones (aborted or straggler-quarantined
+  // activities) whose events can no longer matter.
+  for (auto it = activities_.begin(); it != activities_.end();) {
+    if (it->second.aborted || it->second.quarantined) {
+      it = activities_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+AtomicitySentinel::StateSet& AtomicitySentinel::states_for(
+    std::map<ObjectId, StateSet>& states, ObjectId x) {
+  auto it = states.find(x);
+  if (it == states.end()) {
+    StateSet initial;
+    initial.push_back(system_.spec_of(x).initial_state());
+    it = states.emplace(x, std::move(initial)).first;
+  }
+  return it->second;
+}
+
+bool AtomicitySentinel::replay_activity(
+    ActivityId id, ActivityBuffer& act,
+    std::map<ObjectId, StateSet>& states) {
+  std::sort(act.events.begin(), act.events.end(),
+            [](const SequencedEvent& a, const SequencedEvent& b) {
+              return a.seq < b.seq;
+            });
+  // h|a split per object, preserving order — the per-object view whose
+  // replay is exactly serializability-in-order's acceptance test.
+  std::map<ObjectId, History> per_object;
+  std::vector<ObjectId> object_order;
+  for (const SequencedEvent& se : act.events) {
+    auto [it, inserted] = per_object.try_emplace(se.event.object);
+    if (inserted) object_order.push_back(se.event.object);
+    it->second.append(se.event);
+  }
+  for (ObjectId x : object_order) {
+    if (!system_.has(x)) continue;  // object created after the snapshot
+    StateSet& current = states_for(states, x);
+    StateSet next;
+    for (const auto& s : current) {
+      for (auto& reached : replay_states(*s, per_object.at(x))) {
+        next.push_back(std::move(reached));
+      }
+    }
+    dedupe(next);
+    if (next.empty()) {
+      std::ostringstream out;
+      out << "atomicity violation: committed projection is not serializable "
+             "in its canonical order — activity "
+          << to_string(id) << " (key " << act.key()
+          << ") has no acceptable replay at object " << to_string(x) << " ("
+          << system_.spec_of(x).type_name() << "); h|a|x =\n"
+          << per_object.at(x).to_string();
+      report_violation(out.str());
+      act.quarantined = true;
+      return false;
+    }
+    current = std::move(next);
+  }
+  return true;
+}
+
+void AtomicitySentinel::report_violation(const std::string& explanation) {
+  violations_.fetch_add(1, std::memory_order_relaxed);
+  if (violations_metric_ != nullptr) violations_metric_->inc();
+  last_violation_ = explanation;
+  pending_hooks_.push_back(explanation);
+}
+
+std::string AtomicitySentinel::last_violation() const {
+  const std::scoped_lock lock(mu_);
+  return last_violation_;
+}
+
+}  // namespace argus

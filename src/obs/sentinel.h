@@ -1,0 +1,174 @@
+// AtomicitySentinel: continuous online atomicity checking over the
+// flight recorder's event stream (in the spirit of Mathur &
+// Viswanathan's online atomicity checkers — see PAPERS.md).
+//
+// The sentinel drains the recorder in windows and incrementally verifies
+// that the committed projection perm(h) of the observed history is
+// serializable in its *canonical order* — the order the paper's local
+// atomicity properties promise:
+//
+//   * activities with a timestamp (static initiations, hybrid commit
+//     stamps, hybrid read-only initiations) serialize at that timestamp;
+//   * activities without one (dynamic / 2PL) serialize at their first
+//     commit event's sequence number.
+//
+// Both keys are drawn from the same Lamport clock, so they are mutually
+// comparable; the resulting total order is consistent with precedes(h)
+// (a first-commit sequence is always preceded by the responses that
+// precedes is defined over) and equals timestamp order on timestamped
+// activities. A correct protocol therefore always passes, and a failure
+// is a genuine atomicity violation — serializability is checked by the
+// same NFA-style replay (spec/serial.h) the offline checkers use, but
+// incrementally: per object the sentinel carries the set of candidate
+// specification states reached by the committed prefix, and each newly
+// committed activity's per-object event subsequences are replayed
+// against it. The full exponential search of check_atomic is never
+// needed because the canonical order is known.
+//
+// Memory is bounded by checkpointing: once the buffered committed events
+// exceed `checkpoint_threshold`, activities whose key lies below the
+// *frontier* — a sequence below which no new serialization key can
+// appear (min of the open initiation timestamps and the clock value at
+// the previous window) — are folded permanently into the per-object
+// state sets and their buffers are dropped. An activity that commits
+// with a key below an already-folded checkpoint (possible only if its
+// thread stalled for a whole window between drawing a timestamp and
+// recording its first event) is skipped and counted as a straggler, not
+// reported as a violation.
+//
+// Violations increment a metric, latch an explanation, invoke the
+// optional on_violation hook (the fail-fast path: the hook may abort the
+// process or fail the test), and quarantine the offending activity so
+// one bad activity cannot re-fire every window.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/system.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+#include "spec/spec.h"
+
+namespace argus {
+
+struct SentinelOptions {
+  /// Interval between background drain+check windows.
+  std::chrono::milliseconds window{25};
+  /// Buffered committed events above which the checked prefix is folded
+  /// into per-object candidate states. Default: never fold (exact mode).
+  std::size_t checkpoint_threshold{static_cast<std::size_t>(-1)};
+  /// Invoked (from the sentinel thread, or from poll()'s caller) with an
+  /// explanation for every violation found.
+  std::function<void(const std::string&)> on_violation;
+};
+
+class AtomicitySentinel {
+ public:
+  /// Snapshots `system` (register objects before constructing the
+  /// sentinel; events of unknown objects are counted, not checked).
+  AtomicitySentinel(FlightRecorder& recorder, const SystemSpec& system,
+                    SentinelOptions options = {},
+                    MetricsRegistry* metrics = nullptr);
+  ~AtomicitySentinel();
+
+  AtomicitySentinel(const AtomicitySentinel&) = delete;
+  AtomicitySentinel& operator=(const AtomicitySentinel&) = delete;
+
+  /// Starts the background window thread. stop() (or destruction) joins
+  /// it and runs one final flush window.
+  void start();
+  void stop();
+
+  /// Runs one drain+check window synchronously (usable without start()).
+  void poll();
+
+  [[nodiscard]] std::uint64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t windows() const {
+    return windows_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t events_seen() const {
+    return events_seen_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t activities_checked() const {
+    return activities_checked_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stragglers() const {
+    return stragglers_.load(std::memory_order_relaxed);
+  }
+  /// Explanation of the most recent violation ("" if none).
+  [[nodiscard]] std::string last_violation() const;
+
+ private:
+  struct ActivityBuffer {
+    std::vector<SequencedEvent> events;  // sorted by seq before replay
+    Timestamp ts{kNoTimestamp};          // initiation / hybrid commit stamp
+    std::uint64_t first_commit_seq{0};
+    bool committed{false};
+    bool aborted{false};
+    bool quarantined{false};
+    bool init_open{false};  // ts currently registered in open_initiations_
+    bool checked{false};    // counted in activities_checked_
+    [[nodiscard]] std::uint64_t key() const {
+      return ts != kNoTimestamp ? ts : first_commit_seq;
+    }
+  };
+  using StateSet = std::vector<std::unique_ptr<SpecState>>;
+
+  void run_loop();
+  void ingest(const std::vector<SequencedEvent>& batch);
+  void check_window();
+  void maybe_checkpoint();
+  /// Replays one committed activity against `states`; returns false (and
+  /// reports) on violation.
+  bool replay_activity(ActivityId id, ActivityBuffer& act,
+                       std::map<ObjectId, StateSet>& states);
+  StateSet& states_for(std::map<ObjectId, StateSet>& states, ObjectId x);
+  void report_violation(const std::string& explanation);
+
+  FlightRecorder& recorder_;
+  const SystemSpec system_;  // snapshot at construction
+  const SentinelOptions options_;
+
+  mutable std::mutex mu_;  // guards everything below + poll() itself
+  std::map<ActivityId, ActivityBuffer> activities_;
+  std::multiset<Timestamp> open_initiations_;  // drawn ts of live activities
+  std::map<ObjectId, StateSet> checkpoint_states_;
+  std::uint64_t checkpoint_key_{0};
+  std::uint64_t prev_window_clock_{0};
+  std::size_t buffered_committed_events_{0};
+  std::string last_violation_;
+  std::vector<std::string> pending_hooks_;  // violations awaiting callbacks
+
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> windows_{0};
+  std::atomic<std::uint64_t> events_seen_{0};
+  std::atomic<std::uint64_t> activities_checked_{0};
+  std::atomic<std::uint64_t> stragglers_{0};
+
+  Counter* violations_metric_{nullptr};
+  Counter* windows_metric_{nullptr};
+  Counter* events_metric_{nullptr};
+  Counter* activities_metric_{nullptr};
+  Counter* stragglers_metric_{nullptr};
+
+  std::mutex thread_mu_;  // guards thread_ / running_ transitions
+  std::condition_variable stop_cv_;
+  bool running_{false};
+  bool stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace argus

@@ -41,7 +41,7 @@ template <AdtTraits A>
 class LockSchedulerObject final : public ObjectBase {
  public:
   LockSchedulerObject(ObjectId oid, std::string name, TransactionManager& tm,
-                      HistoryRecorder* recorder, LockRule rule)
+                      EventSink* recorder, LockRule rule)
       : ObjectBase(oid, std::move(name), tm, recorder), rule_(rule) {}
 
   Value invoke(Transaction& txn, const Operation& op) override {

@@ -37,7 +37,7 @@ template <AdtTraits A>
 class TimestampSchedulerObject final : public ObjectBase {
  public:
   TimestampSchedulerObject(ObjectId oid, std::string name,
-                           TransactionManager& tm, HistoryRecorder* recorder)
+                           TransactionManager& tm, EventSink* recorder)
       : ObjectBase(oid, std::move(name), tm, recorder) {}
 
   Value invoke(Transaction& txn, const Operation& op) override {

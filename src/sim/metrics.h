@@ -1,53 +1,18 @@
 // Aggregated workload metrics: the measurements every experiment reports
 // (committed/aborted counts by reason, latency distribution, throughput,
-// and commit-pipeline stage counters).
+// and commit-pipeline stage counters). The latency aggregation itself
+// lives in obs/latency_stats.h, shared with the metrics registry.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
-#include <vector>
 
 #include "common/errors.h"
-#include "common/rng.h"
+#include "obs/latency_stats.h"
 #include "txn/manager.h"
 
 namespace argus {
-
-/// Online latency aggregation with a bounded reservoir sample for
-/// percentiles. add() runs Algorithm R, so every observation has equal
-/// probability of being retained regardless of arrival position — the
-/// sample stays unbiased under arbitrarily long runs (the previous
-/// first-N truncation over-weighted warm-up latencies).
-class LatencyStats {
- public:
-  static constexpr std::size_t kSampleCap = 65536;
-
-  void add(double micros);
-
-  /// Merges another aggregate into this one. When the combined samples
-  /// fit under the cap this is exact concatenation; otherwise the merged
-  /// reservoir draws from each side proportionally to its observation
-  /// count, preserving (approximately) uniform inclusion probability.
-  void merge(const LatencyStats& other);
-
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double mean() const {
-    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
-  }
-  [[nodiscard]] double max() const { return max_; }
-  /// q in [0,1]; computed from the retained sample (all points when fewer
-  /// than the cap were observed).
-  [[nodiscard]] double percentile(double q) const;
-
- private:
-  std::uint64_t count_{0};
-  double total_{0.0};
-  double max_{0.0};
-  std::vector<double> sample_;
-  SplitMix64 rng_{0x61727573u};  // fixed seed: deterministic replacement
-};
 
 struct LabelStats {
   std::uint64_t committed{0};
@@ -77,6 +42,9 @@ struct WorkloadResult {
                          : static_cast<double>(aborted) /
                                static_cast<double>(attempts);
   }
+  /// Multi-line report: headline rates, the abort-reason table, the
+  /// per-label mix table (throughput + latency quantiles), and the
+  /// commit-pipeline stage breakdown.
   [[nodiscard]] std::string summary() const;
 };
 

@@ -1,24 +1,32 @@
-// HistoryRecorder: thread-safe capture of the global event sequence.
+// HistoryRecorder: thread-safe capture of the global event sequence
+// behind one mutex.
 //
-// This is the bridge between the runtime and the formal model: every
-// protocol object records its invoke/respond/commit/abort/initiate events
-// here (inside the critical section where the event takes effect, so the
-// recorded order is a faithful observation of the computation), and tests
-// feed the snapshot to the checkers of src/check. Recording is optional —
-// pass nullptr to objects in benchmarks where capture overhead matters.
+// This is the seed's bridge between the runtime and the formal model:
+// every protocol object records its invoke/respond/commit/abort/initiate
+// events here (inside the critical section where the event takes effect,
+// so the recorded order is a faithful observation of the computation),
+// and tests feed the snapshot to the checkers of src/check.
+//
+// It is kept as the reference EventSink implementation — strict
+// arrival-order capture, trivially correct — and as the baseline the
+// sharded FlightRecorder (obs/flight_recorder.h) is benchmarked against:
+// this global mutex is a second commit lock at high thread counts, which
+// is why the Runtime's production path now records through the flight
+// recorder instead (Runtime::RecorderMode).
 #pragma once
 
 #include <mutex>
 
 #include "hist/history.h"
+#include "obs/event_sink.h"
 
 namespace argus {
 
-class HistoryRecorder {
+class HistoryRecorder final : public EventSink {
  public:
   HistoryRecorder() = default;
 
-  void record(Event e) {
+  void record(Event e) override {
     const std::scoped_lock lock(mu_);
     history_.append(std::move(e));
   }

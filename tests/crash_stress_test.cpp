@@ -25,13 +25,16 @@ TEST_P(CrashStress, MoneyConservedAcrossMidFlightCrash) {
   constexpr int kAccounts = 4;
   constexpr std::int64_t kInitial = 100;
 
-  Runtime rt(/*record_history=*/false);
+  Runtime rt;  // flight recording on: the sentinel audits the whole run
   std::vector<std::shared_ptr<ManagedObject>> accounts;
   for (int i = 0; i < kAccounts; ++i) {
     accounts.push_back(make_object<BankAccountAdt>(
         rt, protocol, "a" + std::to_string(i)));
   }
   rt.set_wait_timeout_all(std::chrono::milliseconds(100));
+  SentinelOptions sentinel_options;
+  sentinel_options.window = std::chrono::milliseconds(2);
+  auto& sentinel = rt.start_sentinel(sentinel_options);
   {
     auto setup = rt.begin();
     for (auto& a : accounts) a->invoke(*setup, account::deposit(kInitial));
@@ -80,6 +83,13 @@ TEST_P(CrashStress, MoneyConservedAcrossMidFlightCrash) {
   rt.commit(check);
   EXPECT_EQ(total, kAccounts * kInitial);
   EXPECT_GT(rt.tm().log().size(), 0u);  // something committed before the crash
+
+  // Atomicity held continuously, through the crash and after recovery:
+  // the online sentinel found no unserializable committed projection.
+  sentinel.stop();
+  EXPECT_EQ(sentinel.violations(), 0u) << sentinel.last_violation();
+  EXPECT_GT(sentinel.activities_checked(), 0u);
+  rt.stop_sentinel();
 }
 
 INSTANTIATE_TEST_SUITE_P(

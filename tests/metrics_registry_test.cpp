@@ -1,0 +1,115 @@
+// MetricsRegistry: handle identity, concurrent updates, callback gauges
+// and collectors, and the two export formats.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/errors.h"
+#include "obs/metrics_registry.h"
+
+namespace argus {
+namespace {
+
+TEST(MetricsRegistry, CounterIdentityIsNameAndLabels) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("argus_test_total", "help", {{"k", "a"}});
+  Counter& b = reg.counter("argus_test_total", "help", {{"k", "b"}});
+  Counter& a_again = reg.counter("argus_test_total", "help", {{"k", "a"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a_again);
+  a.inc(3);
+  b.inc();
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("argus_metric", "help");
+  EXPECT_THROW(reg.gauge("argus_metric", "help"), UsageError);
+}
+
+TEST(MetricsRegistry, ConcurrentCounterBumpsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("argus_bumps_total", "help");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("argus_commits_total", "Commits", {{"mode", "pipelined"}})
+      .inc(42);
+  reg.gauge("argus_watermark", "Watermark").set(17.5);
+  Histogram& h = reg.histogram("argus_latency_us", "Latency");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP argus_commits_total Commits"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE argus_commits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("argus_commits_total{mode=\"pipelined\"} 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("argus_watermark 17.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE argus_latency_us summary"), std::string::npos);
+  EXPECT_NE(text.find("argus_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("argus_latency_us_count 100"), std::string::npos);
+  EXPECT_NE(text.find("argus_latency_us_sum 5050"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonFormat) {
+  MetricsRegistry reg;
+  reg.counter("argus_commits_total", "Commits").inc(7);
+  reg.histogram("argus_latency_us", "Latency").observe(4.0);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"argus_commits_total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"argus_latency_us.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"argus_latency_us.mean\": 4"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CallbackGaugeSampledAtScrapeTime) {
+  MetricsRegistry reg;
+  double source = 1.0;
+  reg.gauge_callback("argus_live_value", "Live", {}, [&source] {
+    return source;
+  });
+  EXPECT_NE(reg.prometheus_text().find("argus_live_value 1"),
+            std::string::npos);
+  source = 2.0;
+  EXPECT_NE(reg.prometheus_text().find("argus_live_value 2"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, CollectorEmitsDescribedSamples) {
+  MetricsRegistry reg;
+  reg.describe("argus_objects_total", "Objects", "counter");
+  reg.add_collector([] {
+    return std::vector<MetricSample>{
+        {"argus_objects_total", {{"object", "x"}}, 3.0},
+        {"argus_objects_total", {{"object", "y"}}, 4.0},
+    };
+  });
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE argus_objects_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("argus_objects_total{object=\"x\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("argus_objects_total{object=\"y\"} 4"),
+            std::string::npos);
+  EXPECT_NE(reg.json().find("\"argus_objects_total{object=\\\"x\\\"}\": 3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace argus

@@ -2,7 +2,12 @@
 // and API misuse paths.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "core/runtime.h"
+#include "hist/parse.h"
 #include "spec/adts/bank_account.h"
 #include "spec/adts/int_set.h"
 #include "test_util.h"
@@ -38,11 +43,78 @@ TEST(Runtime, SystemSpecMirrorsObjects) {
 TEST(Runtime, RecordingDisabledYieldsEmptyHistory) {
   Runtime rt(/*record_history=*/false);
   EXPECT_EQ(rt.recorder(), nullptr);
+  EXPECT_FALSE(rt.recording());
+  EXPECT_EQ(rt.recorder_mode(), Runtime::RecorderMode::kOff);
+  EXPECT_EQ(rt.flight_recorder(), nullptr);
   auto set = rt.create_dynamic<IntSetAdt>("s");
   auto t = rt.begin();
   set->invoke(*t, intset::insert(1));
   rt.commit(t);
+  // history() is explicitly empty with capture off — no recorder exists,
+  // so nothing was ever captured (recording() distinguishes this from a
+  // recording runtime that merely has no events yet).
   EXPECT_TRUE(rt.history().empty());
+}
+
+TEST(Runtime, RecorderModesSelectSink) {
+  Runtime flight(Runtime::RecorderMode::kFlight);
+  EXPECT_TRUE(flight.recording());
+  EXPECT_NE(flight.recorder(), nullptr);
+  EXPECT_NE(flight.flight_recorder(), nullptr);
+  EXPECT_EQ(flight.recorder(), flight.flight_recorder());
+
+  Runtime legacy(Runtime::RecorderMode::kLegacyMutex);
+  EXPECT_TRUE(legacy.recording());
+  EXPECT_NE(legacy.recorder(), nullptr);
+  EXPECT_EQ(legacy.flight_recorder(), nullptr);
+  auto set = legacy.create_dynamic<IntSetAdt>("s");
+  auto t = legacy.begin();
+  set->invoke(*t, intset::insert(1));
+  legacy.commit(t);
+  EXPECT_EQ(legacy.history().size(), 3u);
+}
+
+TEST(Runtime, MetricsExposeTxnAndObjectCounters) {
+  Runtime rt;
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  auto t = rt.begin();
+  set->invoke(*t, intset::insert(1));
+  rt.commit(t);
+  auto t2 = rt.begin();
+  set->invoke(*t2, intset::insert(2));
+  rt.abort(t2);
+
+  const std::string text = rt.metrics().prometheus_text();
+  EXPECT_NE(text.find("argus_txn_begun_total 2"), std::string::npos);
+  EXPECT_NE(text.find("argus_txn_committed_total 1"), std::string::npos);
+  EXPECT_NE(text.find("argus_txn_aborted_total{reason=\"user\"} 1"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("argus_object_invocations_total{object=\"s\"} 2"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("argus_recorder_events_total"), std::string::npos);
+  EXPECT_NE(rt.metrics().json().find("argus_commit_pipeline_commits_total"),
+            std::string::npos);
+}
+
+TEST(Runtime, CrashDumpWritesReplayableTail) {
+  const std::string path = ::testing::TempDir() + "argus_crash_dump.txt";
+  Runtime rt(Runtime::RecorderMode::kFlight,
+             FlightRecorderOptions{.shard_capacity = 64});
+  rt.set_crash_dump(path, 16);
+  auto set = rt.create_dynamic<IntSetAdt>("s");
+  auto t = rt.begin();
+  set->invoke(*t, intset::insert(1));
+  rt.commit(t);
+  rt.crash();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const ParseResult parsed = parse_history(buffer.str());
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.history->size(), 3u);  // invoke + respond + commit
+  std::remove(path.c_str());
 }
 
 TEST(Runtime, RecordingEnabledCapturesEverything) {

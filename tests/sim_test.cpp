@@ -81,7 +81,9 @@ TEST(WorkloadResult, DerivedMetrics) {
   r.aborts_by_reason[AbortReason::kDeadlock] = 50;
   const std::string s = r.summary();
   EXPECT_NE(s.find("committed=100"), std::string::npos);
-  EXPECT_NE(s.find("abort[deadlock]=50"), std::string::npos);
+  EXPECT_NE(s.find("aborts by reason"), std::string::npos);
+  EXPECT_NE(s.find("deadlock"), std::string::npos);
+  EXPECT_NE(s.find("50"), std::string::npos);
 }
 
 TEST(WorkloadResult, ZeroDivisionSafe) {
