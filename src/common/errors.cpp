@@ -14,6 +14,8 @@ std::string to_string(AbortReason r) {
       return "wait-timeout";
     case AbortReason::kCrash:
       return "crash";
+    case AbortReason::kIoError:
+      return "io-error";
     case AbortReason::kSystem:
       return "system";
   }

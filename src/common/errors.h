@@ -25,6 +25,7 @@ enum class AbortReason {
   kTimestampOrder,     // static atomicity: op would invalidate a later-ts op
   kWaitTimeout,        // gave up waiting for a lock / version
   kCrash,              // runtime crash discarded the active transaction
+  kIoError,            // stable-log force failed after exhausting retries
   kSystem,             // internal shutdown
 };
 

@@ -1,6 +1,7 @@
 #include "core/object_base.h"
 
 #include "common/scope_guard.h"
+#include "fault/fault.h"
 
 namespace argus {
 
@@ -41,9 +42,24 @@ void ObjectBase::await(
       }
     }
 
+    // Fault injection on the wait path: a spurious timeout dooms this
+    // waiter exactly like a real deadline expiry (the next iteration
+    // throws); a delayed wakeup stretches this wait round, modelling a
+    // lost notification.
+    auto round = std::chrono::microseconds(2000);
+    if (FaultInjector* fault = tm_.fault_injector()) {
+      const auto decision = fault->on_wait();
+      if (decision.spurious_timeout) {
+        wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        txn.doom(AbortReason::kWaitTimeout);
+        continue;  // next iteration throws
+      }
+      round += std::chrono::microseconds(decision.extra_delay_us);
+    }
+
     // Short bound on each wait round: doom and blocker sets can change
     // without a notification reaching this condition variable.
-    cv_.wait_for(lock, std::chrono::milliseconds(2));
+    cv_.wait_for(lock, round);
   }
 }
 

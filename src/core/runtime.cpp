@@ -22,7 +22,33 @@ Runtime::Runtime(RecorderMode mode, FlightRecorderOptions recorder_options)
   register_collectors();
 }
 
-Runtime::~Runtime() { stop_sentinel(); }
+Runtime::~Runtime() {
+  stop_sentinel();
+  // The manager and log hold raw pointers into fault_injector_; sever
+  // them before members start destructing.
+  tm_.set_fault_injector(nullptr);
+}
+
+void Runtime::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  if (injector) {
+    injector->set_sequence_source([this] { return tm_.clock().now(); });
+    injector->set_crash_hook([this] { crash(); });
+  }
+  std::shared_ptr<FaultInjector> previous;
+  {
+    const std::scoped_lock lock(fault_mu_);
+    previous = std::move(fault_injector_);
+    fault_injector_ = injector;
+  }
+  // Publish to the hot paths after the shared_ptr owner is in place (and
+  // sever before a previous injector can die).
+  tm_.set_fault_injector(injector.get());
+}
+
+FaultInjector* Runtime::fault_injector() const {
+  const std::scoped_lock lock(fault_mu_);
+  return fault_injector_.get();
+}
 
 History Runtime::history() const {
   switch (mode_) {
@@ -173,6 +199,35 @@ void Runtime::register_collectors() {
     return out;
   });
 
+  // Fault injection (empty until set_fault_injector attaches one).
+  metrics_->describe("argus_fault_injected_total",
+                     "Faults injected, by site", "counter");
+  metrics_->describe("argus_fault_arrivals_total",
+                     "Arrivals at fault-injection sites, by site", "counter");
+  metrics_->describe("argus_fault_crashes_total",
+                     "Pinned whole-node crashes fired by the injector",
+                     "counter");
+  metrics_->add_collector([this]() {
+    std::vector<MetricSample> out;
+    std::shared_ptr<FaultInjector> fault;
+    {
+      const std::scoped_lock lock(fault_mu_);
+      fault = fault_injector_;
+    }
+    if (!fault) return out;
+    for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+      const auto site = static_cast<FaultSite>(i);
+      const MetricLabels labels{{"site", to_string(site)}};
+      out.push_back({"argus_fault_injected_total", labels,
+                     double(fault->injected_at(site))});
+      out.push_back({"argus_fault_arrivals_total", labels,
+                     double(fault->arrivals_at(site))});
+    }
+    out.push_back(
+        {"argus_fault_crashes_total", {}, double(fault->crashes_fired())});
+    return out;
+  });
+
   // Recorder health.
   metrics_->describe("argus_recorder_events_total",
                      "Events ever recorded (including ring-evicted)",
@@ -254,9 +309,16 @@ void Runtime::crash() {
   tm_.doom_all_active(AbortReason::kCrash);
   if (flight_ && !crash_dump_path_.empty()) {
     // Black-box dump: the recorder tail in the parse.h notation, replayable
-    // through examples/check_history_file.
+    // through examples/check_history_file. The fault trace rides along as
+    // '#'-comment lines the parser skips, so a failing seed's dump shows
+    // exactly which injected faults led up to the crash.
     std::ofstream out(crash_dump_path_, std::ios::trunc);
-    if (out) out << flight_->tail(crash_dump_events_).to_string();
+    if (out) {
+      out << flight_->tail(crash_dump_events_).to_string();
+      if (FaultInjector* fault = fault_injector()) {
+        out << fault->trace_to_string();
+      }
+    }
   }
 }
 

@@ -38,12 +38,14 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "check/system.h"
 #include "core/dynamic_object.h"
+#include "fault/fault.h"
 #include "core/hybrid_bag.h"
 #include "core/hybrid_object.h"
 #include "core/hybrid_queue.h"
@@ -119,11 +121,22 @@ class Runtime {
 
   /// When set, crash() writes the last `events` flight-recorder events
   /// to `path` in the parse.h notation (replayable by
-  /// examples/check_history_file).
+  /// examples/check_history_file). With a fault injector attached the
+  /// dump also carries the fault trace as '#'-comment lines.
   void set_crash_dump(std::string path, std::size_t events = 4096) {
     crash_dump_path_ = std::move(path);
     crash_dump_events_ = events;
   }
+
+  /// Attaches (or, with nullptr, detaches) a deterministic fault
+  /// injector: wires it through the stable log, the commit pipeline's
+  /// crash points and every object wait path, stamps its trace from the
+  /// runtime clock, makes its crash hook this->crash(), and exports
+  /// argus_fault_* metrics. See src/fault/fault.h.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
+  /// The attached injector (nullptr when fault injection is off).
+  [[nodiscard]] FaultInjector* fault_injector() const;
 
   std::shared_ptr<Transaction> begin() { return tm_.begin(TxnKind::kUpdate); }
   std::shared_ptr<Transaction> begin_read_only() {
@@ -194,6 +207,8 @@ class Runtime {
 
   RecorderMode mode_;
   TransactionManager tm_;
+  mutable std::mutex fault_mu_;  // guards fault_injector_ (scrapes race sets)
+  std::shared_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<FlightRecorder> flight_;   // kFlight mode
   std::unique_ptr<HistoryRecorder> legacy_;  // kLegacyMutex mode
   std::unique_ptr<MetricsRegistry> metrics_;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/scope_guard.h"
+#include "fault/fault.h"
 
 namespace argus {
 
@@ -144,6 +145,12 @@ void TransactionManager::commit_pipelined(
     if (!retired) clock_.finish_commit(ts);
   });
 
+  // Crash point: timestamp drawn, nothing forced. A crash fired here
+  // dooms this transaction too, so the check below unwinds it before the
+  // record could reach the log.
+  FaultInjector* fault = fault_injector();
+  if (fault != nullptr) fault->maybe_crash(FaultSite::kPreForce);
+
   if (t->doomed()) {
     const AbortReason reason = t->doom_reason();
     finish_abort(t, reason);
@@ -153,15 +160,25 @@ void TransactionManager::commit_pipelined(
 
   // Stage 3: group-commit log force. Write-ahead: the record is stable
   // before anything applies. Concurrent committers coalesce into one
-  // force; a crash discards un-forced records and fails the append.
+  // force; a crash discards un-forced records and fails the append, and
+  // an exhausted-retries force failure fails them as an I/O error.
   const auto log_start = SteadyClock::now();
-  const bool forced = log_.append_group(build_record(*t, objects, ts));
+  const AppendResult forced = log_.append_group(build_record(*t, objects, ts));
   log_us_.fetch_add(micros_between(log_start, SteadyClock::now()),
                     std::memory_order_relaxed);
-  if (!forced) {
-    finish_abort(t, AbortReason::kCrash);
-    throw TransactionAborted(t->id(), AbortReason::kCrash);
+  if (forced != AppendResult::kForced) {
+    const AbortReason reason = forced == AppendResult::kIoError
+                                   ? AbortReason::kIoError
+                                   : AbortReason::kCrash;
+    finish_abort(t, reason);
+    throw TransactionAborted(t->id(), reason);
   }
+
+  // Crash point: the record is stable but nothing has applied. The apply
+  // below still completes — a forced record is committed by definition,
+  // and recovery replays it — which is exactly the window this crash
+  // point exists to exercise.
+  if (fault != nullptr) fault->maybe_crash(FaultSite::kPostForcePreApply);
 
   // Stage 4: apply + publish. Objects apply in commit-timestamp order —
   // each committer waits for every earlier in-flight commit to retire, so
@@ -171,7 +188,19 @@ void TransactionManager::commit_pipelined(
   // read-only begins.
   const auto apply_start = SteadyClock::now();
   clock_.wait_for_turn(ts);
-  for (ManagedObject* o : objects) o->commit(*t, ts);
+  bool first_apply = true;
+  for (ManagedObject* o : objects) {
+    // Crash point: some of this transaction's objects applied, some not
+    // — the torn-apply window recovery must make whole.
+    if (!first_apply && fault != nullptr) {
+      fault->maybe_crash(FaultSite::kMidApply);
+    }
+    first_apply = false;
+    o->commit(*t, ts);
+  }
+  // Crash point: fully applied, watermark not yet advanced — read-only
+  // begins must not observe this commit as covered yet.
+  if (fault != nullptr) fault->maybe_crash(FaultSite::kPostApplyPreWatermark);
   t->set_state(TxnState::kCommitted);
   retired = true;
   clock_.finish_commit(ts);

@@ -48,6 +48,8 @@
 
 namespace argus {
 
+class FaultInjector;
+
 struct TxnStats {
   std::uint64_t begun{0};
   std::uint64_t committed{0};
@@ -125,6 +127,20 @@ class TransactionManager {
   [[nodiscard]] DeadlockDetector& detector() { return detector_; }
   [[nodiscard]] StableLog& log() { return log_; }
 
+  /// Wires (or clears, with nullptr) deterministic fault injection
+  /// through the commit pipeline's named crash points, the stable log's
+  /// force path, and the objects' blocking waits (which consult this via
+  /// their TransactionManager). The injector must outlive the manager or
+  /// be cleared first. Normally called through
+  /// Runtime::set_fault_injector().
+  void set_fault_injector(FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+    log_.set_fault_injector(injector);
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const {
+    return fault_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] TxnStats stats() const;
   [[nodiscard]] CommitPipelineStats pipeline_stats() const;
 
@@ -151,6 +167,7 @@ class TransactionManager {
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<CommitMode> mode_{CommitMode::kPipelined};
+  std::atomic<FaultInjector*> fault_{nullptr};
   LamportClock clock_;
   DeadlockDetector detector_;
   StableLog log_;

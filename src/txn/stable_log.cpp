@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "fault/fault.h"
+
 namespace argus {
 
 void StableLog::insert_forced_locked(CommitLogRecord record) {
@@ -32,7 +34,7 @@ void StableLog::append(CommitLogRecord record) {
   stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, 1);
 }
 
-bool StableLog::append_group(CommitLogRecord record) {
+AppendResult StableLog::append_group(CommitLogRecord record) {
   auto slot = std::make_shared<Slot>();
   slot->record = std::move(record);
 
@@ -47,36 +49,101 @@ bool StableLog::append_group(CommitLogRecord record) {
       std::vector<std::shared_ptr<Slot>> batch = std::move(queue_);
       queue_.clear();
       const std::uint64_t generation = generation_;
+      FaultInjector* fault = fault_.load(std::memory_order_acquire);
 
-      if (force_delay_.count() > 0) {
-        lock.unlock();
-        std::this_thread::sleep_for(force_delay_);
-        lock.lock();
+      // Attempt the force; fault injection may fail it transiently (we
+      // retry with linear backoff), tear it (only a prefix stabilizes),
+      // or stretch it (latency spike). A drop_pending() at any point
+      // (generation bump) turns the whole attempt into a drop.
+      bool dropped = false;
+      bool give_up = false;
+      std::size_t stable_prefix = batch.size();
+      std::uint32_t attempts = 0;
+      for (;;) {
+        FaultInjector::ForceDecision decision;
+        if (fault != nullptr) decision = fault->on_force(batch.size());
+        const auto delay =
+            force_delay_ + std::chrono::microseconds(decision.latency_us);
+        if (delay.count() > 0) {
+          lock.unlock();
+          std::this_thread::sleep_for(delay);
+          lock.lock();
+        }
+        cv_.wait(lock,
+                 [&] { return !hold_flushes_ || generation_ != generation; });
+        if (generation_ != generation) {
+          dropped = true;
+          break;
+        }
+        if (decision.fail) {
+          ++stats_.force_failures;
+          if (attempts >= decision.max_retries) {
+            give_up = true;
+            break;
+          }
+          ++attempts;
+          const auto backoff =
+              std::chrono::microseconds(decision.retry_backoff_us) * attempts;
+          if (backoff.count() > 0) {
+            lock.unlock();
+            std::this_thread::sleep_for(backoff);
+            lock.lock();
+          }
+          if (generation_ != generation) {
+            dropped = true;
+            break;
+          }
+          continue;
+        }
+        if (decision.torn && decision.stable_prefix < batch.size()) {
+          stable_prefix = decision.stable_prefix;
+        }
+        break;
       }
-      cv_.wait(lock, [&] { return !hold_flushes_ || generation_ != generation; });
 
       flush_active_ = false;
-      if (generation_ == generation) {
-        // The force completed: the whole batch is stable at once.
-        ++stats_.forces;
-        stats_.records_forced += batch.size();
-        stats_.max_batch = std::max(stats_.max_batch,
-                                    static_cast<std::uint64_t>(batch.size()));
-        for (auto& s : batch) {
-          insert_forced_locked(std::move(s->record));
-          s->state = SlotState::kForced;
-        }
-      } else {
+      if (dropped) {
         // drop_pending() hit mid-force: the batch never reached stable
         // storage.
         for (auto& s : batch) s->state = SlotState::kDropped;
+      } else if (give_up) {
+        // Retries exhausted: the force failed for good. Nothing in the
+        // batch is stable; every committer aborts with an I/O error.
+        for (auto& s : batch) s->state = SlotState::kFailed;
+      } else {
+        // The force completed, possibly torn: exactly records
+        // [0, stable_prefix) are stable. The unstabilized tail goes back
+        // to the head of the queue, still kQueued — the next leader
+        // retries it, or drop_pending() fails it.
+        ++stats_.forces;
+        stats_.records_forced += stable_prefix;
+        stats_.max_batch = std::max(stats_.max_batch,
+                                    static_cast<std::uint64_t>(stable_prefix));
+        for (std::size_t i = 0; i < stable_prefix; ++i) {
+          insert_forced_locked(std::move(batch[i]->record));
+          batch[i]->state = SlotState::kForced;
+        }
+        if (stable_prefix < batch.size()) {
+          ++stats_.torn_forces;
+          stats_.records_requeued += batch.size() - stable_prefix;
+          queue_.insert(queue_.begin(),
+                        batch.begin() + static_cast<std::ptrdiff_t>(stable_prefix),
+                        batch.end());
+        }
       }
       cv_.notify_all();
     } else {
       cv_.wait(lock);
     }
   }
-  return slot->state == SlotState::kForced;
+  switch (slot->state) {
+    case SlotState::kForced:
+      return AppendResult::kForced;
+    case SlotState::kFailed:
+      return AppendResult::kIoError;
+    default:
+      return AppendResult::kDropped;
+  }
 }
 
 void StableLog::drop_pending() {

@@ -21,8 +21,19 @@
 // spares; substituting a file-backed log would not change any interface.
 // set_force_delay() models the latency of a real force (fsync); the
 // leader pays it once per batch.
+//
+// Failure semantics under fault injection (set_fault_injector): a force
+// attempt may fail transiently — the leader retries with linear backoff
+// and, once retries are exhausted, the whole batch fails as an I/O error
+// (AppendResult::kIoError; nothing was applied, the committers abort). A
+// force may also be torn: exactly a prefix of the batch stabilizes and
+// the tail is requeued at the head of the pending queue, so the tail
+// committers keep waiting and either stabilize under a later leader or
+// are failed by drop_pending() — a crash after a torn force therefore
+// loses exactly the unstabilized suffix, never a stabilized record.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -35,6 +46,8 @@
 #include "common/value.h"
 
 namespace argus {
+
+class FaultInjector;
 
 /// One executed operation together with the result it returned. The
 /// result is logged because nondeterministic operations (Bag::remove)
@@ -68,6 +81,13 @@ struct ReplayContext {
   Timestamp start_ts{kNoTimestamp};
 };
 
+/// How one append_group() call ended.
+enum class AppendResult {
+  kForced,   // the record is stable and survives crash()
+  kDropped,  // drop_pending() (a crash) discarded it — abort the txn
+  kIoError,  // the force failed after exhausting retries — abort the txn
+};
+
 class StableLog {
  public:
   StableLog() = default;
@@ -77,10 +97,10 @@ class StableLog {
   void append(CommitLogRecord record);
 
   /// Group commit: enqueues the record and blocks until a flush leader
-  /// forces the batch containing it. Returns true when the record is
-  /// stable; false when drop_pending() (a crash) discarded it first — the
-  /// caller must then abort its transaction, since nothing was applied.
-  [[nodiscard]] bool append_group(CommitLogRecord record);
+  /// forces the batch containing it. kForced means the record is stable;
+  /// on kDropped / kIoError nothing was applied and the caller must
+  /// abort its transaction.
+  [[nodiscard]] AppendResult append_group(CommitLogRecord record);
 
   /// Crash path: discards every record not yet forced and fails its
   /// waiting append_group() call. Records already forced are untouched.
@@ -96,10 +116,20 @@ class StableLog {
   void hold_flushes();
   void release_flushes();
 
+  /// Fault injection hook: the injector decides force failures, torn
+  /// tails and leader latency per force attempt. nullptr (default) = no
+  /// injection. The pointer must outlive the log or be cleared first.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+
   struct GroupStats {
     std::uint64_t forces{0};         // flush round trips
     std::uint64_t records_forced{0};
     std::uint64_t max_batch{0};      // largest single-force batch
+    std::uint64_t force_failures{0}; // injected transient force failures
+    std::uint64_t torn_forces{0};    // forces that stabilized a strict prefix
+    std::uint64_t records_requeued{0};  // tail records sent back to the queue
   };
   [[nodiscard]] GroupStats group_stats() const;
 
@@ -113,7 +143,7 @@ class StableLog {
   void clear();
 
  private:
-  enum class SlotState { kQueued, kForced, kDropped };
+  enum class SlotState { kQueued, kForced, kDropped, kFailed };
 
   struct Slot {
     CommitLogRecord record;
@@ -133,6 +163,7 @@ class StableLog {
   bool hold_flushes_{false};
   std::uint64_t generation_{0};  // bumped by drop_pending
   std::chrono::microseconds force_delay_{0};
+  std::atomic<FaultInjector*> fault_{nullptr};
   GroupStats stats_;
 };
 

@@ -41,6 +41,23 @@ TEST_P(CrashStress, MoneyConservedAcrossMidFlightCrash) {
     rt.commit(setup);
   }
 
+  // A mild seeded fault mix rides along under the whole sweep: transient
+  // force failures, torn batch tails, leader latency and wait-path chaos
+  // shrink and reshape the committed set, but conservation and the
+  // sentinel verdict below must be untouched by any of it.
+  FaultPlan fault_plan;
+  fault_plan.seed = seed * 1315423911ULL + 7;
+  fault_plan.force_fail_permille = 60 + 20 * (seed % 3);
+  fault_plan.force_max_retries = 2;
+  fault_plan.force_retry_backoff_us = 5;
+  fault_plan.torn_batch_permille = 80 + 30 * (seed % 2);
+  fault_plan.leader_latency_permille = 50;
+  fault_plan.leader_latency_us = 30;
+  fault_plan.spurious_timeout_permille = 20;
+  fault_plan.delayed_wakeup_permille = 30;
+  fault_plan.delayed_wakeup_us = 50;
+  rt.set_fault_injector(std::make_shared<FaultInjector>(fault_plan));
+
   // Workers transfer money until crashed.
   std::atomic<bool> stop{false};
   auto worker = [&](int index) {
@@ -71,6 +88,7 @@ TEST_P(CrashStress, MoneyConservedAcrossMidFlightCrash) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& w : workers) w.join();
 
+  rt.set_fault_injector(nullptr);  // recovery itself is fault-free
   rt.recover();
 
   // Conservation: transfers move money or do nothing; every committed

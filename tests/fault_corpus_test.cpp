@@ -1,0 +1,118 @@
+// Corpus replay: the checked-in (seed, plan) tuples in tests/corpus/ are
+// configurations worth pinning forever — one per crash point family.
+// Each must (a) certify clean through crash + recovery and (b) reproduce
+// its flight-recorder trace byte for byte on a second run.
+//
+// The binary doubles as the minimization tool:
+//
+//   fault_corpus_test --minimize <config-file>
+//
+// bisects a failing config's fault budget to the smallest reproducing
+// prefix and prints the shrunken config (ready to check back into the
+// corpus).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/fault_sweep.h"
+
+namespace argus {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ARGUS_CORPUS_DIR)) {
+    if (entry.path().extension() == ".txt") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class FaultCorpus : public ::testing::TestWithParam<std::filesystem::path> {};
+
+TEST_P(FaultCorpus, ReplaysCleanAndByteEqual) {
+  const auto path = GetParam();
+  FaultSweepCase c;
+  std::string error;
+  ASSERT_TRUE(parse_fault_case(read_file(path), &c, &error))
+      << path << ": " << error;
+
+  const FaultCaseResult first = run_fault_case(c);
+  EXPECT_TRUE(first.ok) << path << "\n" << first.failure;
+  ASSERT_FALSE(first.trace.empty());
+
+  const FaultCaseResult second = run_fault_case(c);
+  EXPECT_EQ(first.trace, second.trace)
+      << path << ": same seed must reproduce the trace byte for byte";
+  EXPECT_EQ(first.committed, second.committed);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FaultCorpus,
+                         ::testing::ValuesIn(corpus_files()),
+                         [](const auto& info) {
+                           std::string name = info.param.stem().string();
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(FaultCorpus, CorpusIsNotEmpty) { EXPECT_GE(corpus_files().size(), 3u); }
+
+int minimize_main(const std::string& file) {
+  FaultSweepCase c;
+  std::string error;
+  if (!parse_fault_case(read_file(file), &c, &error)) {
+    std::cerr << "cannot parse " << file << ": " << error << "\n";
+    return 2;
+  }
+  const FaultCaseResult full = run_fault_case(c);
+  if (full.ok) {
+    std::cout << "config passes (" << full.faults_injected
+              << " faults injected); nothing to minimize\n";
+    return 0;
+  }
+  std::cout << "config fails:\n" << full.failure << "\n\nminimizing over "
+            << full.faults_injected << " injected faults...\n";
+  const FaultSweepCase minimized = minimize_fault_budget(
+      c, [](const FaultSweepCase& probe) { return !run_fault_case(probe).ok; });
+  const FaultCaseResult shrunk = run_fault_case(minimized);
+  std::cout << "\nsmallest reproducing budget: max_faults "
+            << minimized.plan.max_faults << " (" << shrunk.faults_injected
+            << " faults injected)\n\n"
+            << to_config_string(minimized) << "\nfailure at that budget:\n"
+            << shrunk.failure << "\n";
+  return 1;  // the config still fails — that is the point of the tool
+}
+
+}  // namespace
+}  // namespace argus
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--minimize") {
+    return argus::minimize_main(argv[2]);
+  }
+  if (argc == 2 && std::string(argv[1]) == "--minimize") {
+    std::cerr << "usage: " << argv[0] << " --minimize <config-file>\n";
+    return 2;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -44,11 +44,25 @@ struct RunResult {
 /// orders.
 template <AdtTraits A>
 RunResult run_property_workload(Protocol protocol, const std::string& adt,
-                                std::uint64_t seed) {
+                                std::uint64_t seed,
+                                bool with_faults = false) {
   Runtime rt(/*record_history=*/true);
   auto obj = make_object<A>(rt, protocol, "x");
   if (auto base = std::dynamic_pointer_cast<ObjectBase>(obj)) {
     base->set_wait_timeout(std::chrono::milliseconds(1000));
+  }
+  if (with_faults) {
+    // The stable log misbehaves: transient force failures (retried, and
+    // sometimes exhausted into io-error aborts) and torn batch tails.
+    // Faults may abort transactions, never corrupt the history — the
+    // property checks below are identical either way.
+    FaultPlan plan;
+    plan.seed = seed * 2654435761ULL + static_cast<std::uint64_t>(protocol);
+    plan.force_fail_permille = 250;
+    plan.force_max_retries = 1;
+    plan.force_retry_backoff_us = 5;
+    plan.torn_batch_permille = 300;
+    rt.set_fault_injector(std::make_shared<FaultInjector>(plan));
   }
 
   RunResult out;
@@ -98,8 +112,9 @@ RunResult run_property_workload(Protocol protocol, const std::string& adt,
 
 template <AdtTraits A>
 void check_protocol_property(Protocol protocol, const std::string& adt,
-                             std::uint64_t seed) {
-  const RunResult run = run_property_workload<A>(protocol, adt, seed);
+                             std::uint64_t seed, bool with_faults = false) {
+  const RunResult run =
+      run_property_workload<A>(protocol, adt, seed, with_faults);
   const History& h = run.history;
 
   switch (protocol) {
@@ -156,6 +171,41 @@ INSTANTIATE_TEST_SUITE_P(
                                          Protocol::kCommutativity,
                                          Protocol::kTimestamp),
                        ::testing::Range<std::uint64_t>(1, 9)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// The same property sweep under injected stable-log faults: force
+// failures and torn tails shrink the committed set but must leave every
+// checker verdict unchanged — a fault is just another way to abort.
+class ProtocolPropertyUnderFaults
+    : public ::testing::TestWithParam<std::tuple<Protocol, std::uint64_t>> {};
+
+TEST_P(ProtocolPropertyUnderFaults, IntSetHistoriesStillSatisfyProperty) {
+  const auto& [protocol, seed] = GetParam();
+  check_protocol_property<IntSetAdt>(protocol, "int_set", seed,
+                                     /*with_faults=*/true);
+}
+
+TEST_P(ProtocolPropertyUnderFaults, BankAccountHistoriesStillSatisfyProperty) {
+  const auto& [protocol, seed] = GetParam();
+  check_protocol_property<BankAccountAdt>(protocol, "bank_account", seed + 77,
+                                          /*with_faults=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolPropertyUnderFaults,
+    ::testing::Combine(::testing::Values(Protocol::kDynamic, Protocol::kStatic,
+                                         Protocol::kHybrid,
+                                         Protocol::kTwoPhase,
+                                         Protocol::kCommutativity,
+                                         Protocol::kTimestamp),
+                       ::testing::Range<std::uint64_t>(1, 5)),
     [](const auto& info) {
       std::string name = to_string(std::get<0>(info.param)) + "_seed" +
                          std::to_string(std::get<1>(info.param));
