@@ -1,4 +1,4 @@
-// Shared helpers for the experiment binaries (E1..E11, see EXPERIMENTS.md
+// Shared helpers for the experiment binaries (E1..E14, see EXPERIMENTS.md
 // and DESIGN.md §5 for the paper-claim each reproduces).
 #pragma once
 

@@ -46,6 +46,12 @@ namespace argus {
 enum class AdmissionMode {
   kExact,
   kConflictTableOnly,
+  /// Admits every enabled operation without any validation — a
+  /// deliberately broken protocol. Exists only as a seeded regression for
+  /// the deterministic-schedule explorer: runs under it must produce
+  /// atomicity violations that the checkers catch and the explorer
+  /// minimizes to a replayable schedule. Never use outside tests.
+  kChaosAdmitAll,
 };
 
 template <AdtTraits A>
@@ -63,6 +69,7 @@ class DynamicAtomicObject final : public ObjectBase {
                        to_string(op) + " on " + name());
     }
     txn.touch(this);
+    sched_point(op);
 
     std::unique_lock lock(mu_);
     record(argus::invoke(id(), txn.id(), op));
@@ -89,14 +96,14 @@ class DynamicAtomicObject final : public ObjectBase {
       intentions_.erase(it);
     }
     record(argus::commit(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   void abort(Transaction& txn) override {
     const std::scoped_lock lock(mu_);
     intentions_.erase(txn.id());
     record(argus::abort(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   [[nodiscard]] std::vector<LoggedOp> intentions_of(
@@ -110,7 +117,7 @@ class DynamicAtomicObject final : public ObjectBase {
     const std::scoped_lock lock(mu_);
     committed_ = A::initial();
     intentions_.clear();
-    cv_.notify_all();
+    notify_object();
   }
 
   void replay(const ReplayContext&, const LoggedOp& logged) override {
@@ -168,6 +175,7 @@ class DynamicAtomicObject final : public ObjectBase {
           others.size() <= kMaxExactValidation) {
         admit = validate_all_orders<A>(committed_, others, self);
       }
+      if (mode_ == AdmissionMode::kChaosAdmitAll) admit = true;
       if (admit) {
         mine.ops = std::move(self);  // mu_ is held
         return result;

@@ -13,6 +13,7 @@ Value EscrowAccount::invoke(Transaction& txn, const Operation& op) {
                      " on " + name());
   }
   txn.touch(this);
+  sched_point(op);
 
   std::unique_lock lock(mu_);
   record(argus::invoke(id(), txn.id(), op));
@@ -122,14 +123,14 @@ void EscrowAccount::commit(Transaction& txn, Timestamp /*commit_ts*/) {
     intentions_.erase(it);
   }
   record(argus::commit(id(), txn.id()));
-  cv_.notify_all();
+  notify_object();
 }
 
 void EscrowAccount::abort(Transaction& txn) {
   const std::scoped_lock lock(mu_);
   intentions_.erase(txn.id());
   record(argus::abort(id(), txn.id()));
-  cv_.notify_all();
+  notify_object();
 }
 
 std::vector<LoggedOp> EscrowAccount::intentions_of(
@@ -143,7 +144,7 @@ void EscrowAccount::reset_for_recovery() {
   const std::scoped_lock lock(mu_);
   committed_ = 0;
   intentions_.clear();
-  cv_.notify_all();
+  notify_object();
 }
 
 void EscrowAccount::replay(const ReplayContext&, const LoggedOp& logged) {

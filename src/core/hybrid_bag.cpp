@@ -9,6 +9,7 @@ HybridBag::HybridBag(ObjectId oid, std::string name, TransactionManager& tm,
 Value HybridBag::invoke(Transaction& txn, const Operation& op) {
   txn.ensure_active();
   txn.touch(this);
+  sched_point(op);
   if (txn.read_only()) return invoke_read_only(txn, op);
   return invoke_update(txn, op);
 }
@@ -129,14 +130,14 @@ void HybridBag::commit(Transaction& txn, Timestamp commit_ts) {
     intentions_.erase(it);
   }
   record(commit_at(id(), txn.id(), commit_ts));
-  cv_.notify_all();
+  notify_object();
 }
 
 void HybridBag::abort(Transaction& txn) {
   const std::scoped_lock lock(mu_);
   intentions_.erase(txn.id());  // claims released with the entry
   record(argus::abort(id(), txn.id()));
-  cv_.notify_all();
+  notify_object();
 }
 
 std::vector<LoggedOp> HybridBag::intentions_of(const Transaction& txn) const {
@@ -151,7 +152,7 @@ void HybridBag::reset_for_recovery() {
   log_.clear();
   intentions_.clear();
   initiated_.clear();
-  cv_.notify_all();
+  notify_object();
 }
 
 void HybridBag::replay(const ReplayContext& ctx, const LoggedOp& logged) {

@@ -45,6 +45,7 @@ class HybridAtomicObject final : public ObjectBase {
   Value invoke(Transaction& txn, const Operation& op) override {
     txn.ensure_active();
     txn.touch(this);
+    sched_point(op);
     if (txn.read_only()) return invoke_read_only(txn, op);
     return invoke_update(txn, op);
   }
@@ -67,14 +68,14 @@ class HybridAtomicObject final : public ObjectBase {
       intentions_.erase(it);
     }
     record(commit_at(id(), txn.id(), commit_ts));
-    cv_.notify_all();
+    notify_object();
   }
 
   void abort(Transaction& txn) override {
     const std::scoped_lock lock(mu_);
     intentions_.erase(txn.id());
     record(argus::abort(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   [[nodiscard]] std::vector<LoggedOp> intentions_of(
@@ -90,7 +91,7 @@ class HybridAtomicObject final : public ObjectBase {
     log_.clear();
     intentions_.clear();
     initiated_.clear();
-    cv_.notify_all();
+    notify_object();
   }
 
   void replay(const ReplayContext& ctx, const LoggedOp& logged) override {

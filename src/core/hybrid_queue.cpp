@@ -10,6 +10,7 @@ HybridFifoQueue::HybridFifoQueue(ObjectId oid, std::string name,
 Value HybridFifoQueue::invoke(Transaction& txn, const Operation& op) {
   txn.ensure_active();
   txn.touch(this);
+  sched_point(op);
   if (txn.read_only()) return invoke_read_only(txn, op);
   return invoke_update(txn, op);
 }
@@ -136,14 +137,14 @@ void HybridFifoQueue::commit(Transaction& txn, Timestamp commit_ts) {
     intentions_.erase(it);
   }
   record(commit_at(id(), txn.id(), commit_ts));
-  cv_.notify_all();
+  notify_object();
 }
 
 void HybridFifoQueue::abort(Transaction& txn) {
   const std::scoped_lock lock(mu_);
   intentions_.erase(txn.id());
   record(argus::abort(id(), txn.id()));
-  cv_.notify_all();
+  notify_object();
 }
 
 std::vector<LoggedOp> HybridFifoQueue::intentions_of(
@@ -159,7 +160,7 @@ void HybridFifoQueue::reset_for_recovery() {
   log_.clear();
   intentions_.clear();
   initiated_.clear();
-  cv_.notify_all();
+  notify_object();
 }
 
 void HybridFifoQueue::replay(const ReplayContext& ctx, const LoggedOp& logged) {

@@ -19,6 +19,15 @@ void ObjectBase::await(
     tm_.detector().clear_wait(txn.id());
   });
 
+  // Under a deterministic scheduler the liveness deadline is virtual:
+  // it expires when the schedule has advanced virtual time past it, not
+  // when the wall clock has — so wait timeouts replay byte-for-byte.
+  WaitPolicy* policy = tm_.wait_policy();
+  const std::uint64_t timeout_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(wait_timeout_)
+          .count());
+  const std::uint64_t virtual_deadline =
+      policy != nullptr ? policy->now_us() + timeout_us : 0;
   const auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
   while (!pred()) {
     if (txn.doomed()) {
@@ -27,7 +36,10 @@ void ObjectBase::await(
       }
       throw TransactionAborted(txn.id(), txn.doom_reason());
     }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    const bool expired = policy != nullptr
+                             ? policy->now_us() >= virtual_deadline
+                             : std::chrono::steady_clock::now() >= deadline;
+    if (expired) {
       wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
       txn.doom(AbortReason::kWaitTimeout);
       continue;  // next iteration throws
@@ -59,7 +71,15 @@ void ObjectBase::await(
 
     // Short bound on each wait round: doom and blocker sets can change
     // without a notification reaching this condition variable.
-    cv_.wait_for(lock, round);
+    if (policy == nullptr) {
+      cv_.wait_for(lock, round);
+    } else {
+      LaneHint hint;
+      hint.point = WaitPoint::kObjectWait;
+      hint.object = id();
+      hint.has_object = true;
+      policy->wait_round(hint, &cv_, lock, cv_, round);
+    }
   }
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "dsched/wait_policy.h"
 #include "obs/event_sink.h"
 #include "txn/managed_object.h"
 #include "txn/manager.h"
@@ -50,7 +51,7 @@ class ObjectBase : public ManagedObject {
   [[nodiscard]] ObjectId id() const override { return id_; }
   [[nodiscard]] std::string name() const override { return name_; }
 
-  void wake_all() override { cv_.notify_all(); }
+  void wake_all() override { notify_object(); }
 
   /// Maximum time a single invocation may block before the waiter dooms
   /// itself with AbortReason::kWaitTimeout (liveness backstop).
@@ -73,6 +74,28 @@ class ObjectBase : public ManagedObject {
   ObjectBase(ObjectId id, std::string name, TransactionManager& tm,
              EventSink* sink)
       : tm_(tm), sink_(sink), id_(id), name_(std::move(name)) {}
+
+  /// Wakes every waiter on this object's monitor — the real condition
+  /// variable always, plus any parked deterministic lanes.
+  void notify_object() {
+    cv_.notify_all();
+    if (WaitPolicy* policy = tm_.wait_policy()) policy->notify(&cv_);
+  }
+
+  /// Scheduling point at an invocation's door: called *before* taking the
+  /// object monitor, carrying the operation so DFS sleep sets can prune
+  /// commuting invocations. No-op in SchedMode::kOs.
+  void sched_point(const Operation& op) {
+    if (WaitPolicy* policy = tm_.wait_policy()) {
+      LaneHint hint;
+      hint.point = WaitPoint::kObjectInvoke;
+      hint.object = id_;
+      hint.has_object = true;
+      hint.op = op;
+      hint.has_op = true;
+      policy->yield(hint);
+    }
+  }
 
   void record(Event e) {
     switch (e.kind) {

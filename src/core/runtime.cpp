@@ -6,8 +6,15 @@
 
 namespace argus {
 
-Runtime::Runtime(RecorderMode mode, FlightRecorderOptions recorder_options)
-    : mode_(mode), metrics_(std::make_unique<MetricsRegistry>()) {
+Runtime::Runtime(RecorderMode mode, SchedMode sched_mode, WaitPolicy* policy,
+                 FlightRecorderOptions recorder_options)
+    : mode_(mode), sched_mode_(sched_mode), wait_policy_(policy),
+      metrics_(std::make_unique<MetricsRegistry>()) {
+  if (sched_mode_ == SchedMode::kDeterministic && wait_policy_ == nullptr) {
+    throw UsageError("SchedMode::kDeterministic requires a WaitPolicy");
+  }
+  if (sched_mode_ == SchedMode::kOs) wait_policy_ = nullptr;
+  tm_.set_wait_policy(wait_policy_);
   switch (mode_) {
     case RecorderMode::kOff:
       break;
@@ -67,6 +74,7 @@ AtomicitySentinel& Runtime::start_sentinel(SentinelOptions options) {
     throw UsageError("start_sentinel requires RecorderMode::kFlight");
   }
   if (sentinel_) throw UsageError("sentinel already running");
+  if (wait_policy_ != nullptr) options.wait_policy = wait_policy_;
   sentinel_ = std::make_unique<AtomicitySentinel>(
       *flight_, system_, std::move(options), metrics_.get());
   sentinel_->start();

@@ -58,6 +58,16 @@
 
 namespace argus {
 
+/// How the runtime's blocking points are scheduled. kOs (the default) is
+/// byte-identical to the pre-dsched runtime: plain mutexes and condition
+/// variables under OS scheduling. kDeterministic routes every blocking
+/// point through a WaitPolicy (src/dsched) so a cooperative scheduler
+/// owns every context switch and runs replay byte-for-byte.
+enum class SchedMode {
+  kOs,
+  kDeterministic,
+};
+
 class Runtime {
  public:
   enum class RecorderMode {
@@ -67,7 +77,15 @@ class Runtime {
   };
 
   explicit Runtime(RecorderMode mode,
-                   FlightRecorderOptions recorder_options = {});
+                   FlightRecorderOptions recorder_options = {})
+      : Runtime(mode, SchedMode::kOs, nullptr, std::move(recorder_options)) {}
+
+  /// Deterministic-scheduling construction: every blocking point in this
+  /// runtime routes through `policy` (required non-null for
+  /// kDeterministic; must outlive the Runtime). Workload threads must be
+  /// spawned as lanes of the owning DeterministicScheduler.
+  Runtime(RecorderMode mode, SchedMode sched_mode, WaitPolicy* policy,
+          FlightRecorderOptions recorder_options = {});
 
   /// Back-compat: `record_history` false maps to kOff, true to kFlight.
   explicit Runtime(bool record_history = true)
@@ -92,6 +110,9 @@ class Runtime {
   }
 
   [[nodiscard]] RecorderMode recorder_mode() const { return mode_; }
+  [[nodiscard]] SchedMode sched_mode() const { return sched_mode_; }
+  /// The deterministic wait policy (nullptr in SchedMode::kOs).
+  [[nodiscard]] WaitPolicy* wait_policy() const { return wait_policy_; }
   [[nodiscard]] bool recording() const { return mode_ != RecorderMode::kOff; }
 
   /// The flight recorder (nullptr unless the mode is kFlight).
@@ -206,6 +227,8 @@ class Runtime {
   void register_collectors();
 
   RecorderMode mode_;
+  SchedMode sched_mode_{SchedMode::kOs};
+  WaitPolicy* wait_policy_{nullptr};
   TransactionManager tm_;
   mutable std::mutex fault_mu_;  // guards fault_injector_ (scrapes race sets)
   std::shared_ptr<FaultInjector> fault_injector_;

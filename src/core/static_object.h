@@ -54,6 +54,7 @@ class StaticAtomicObject final : public ObjectBase {
                        to_string(op) + " on " + name());
     }
     txn.touch(this);
+    sched_point(op);
     const Timestamp t = txn.start_ts();
 
     std::unique_lock lock(mu_);
@@ -89,7 +90,7 @@ class StaticAtomicObject final : public ObjectBase {
       if (rec.txn == txn.id()) rec.committed = true;
     }
     record(argus::commit(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   void abort(Transaction& txn) override {
@@ -99,7 +100,7 @@ class StaticAtomicObject final : public ObjectBase {
     if (removed > 0) cache_valid_ = false;
     seq_.erase(txn.id());
     record(argus::abort(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   [[nodiscard]] std::vector<LoggedOp> intentions_of(
@@ -118,7 +119,7 @@ class StaticAtomicObject final : public ObjectBase {
     seq_.clear();
     initiated_.clear();
     cache_valid_ = false;
-    cv_.notify_all();
+    notify_object();
   }
 
   void replay(const ReplayContext& ctx, const LoggedOp& logged) override {

@@ -1,0 +1,198 @@
+// ScheduleSource: chooses, at every scheduling decision of the
+// deterministic scheduler, which ready lane runs next. Three exploration
+// strategies plus exact replay:
+//
+//   * RandomScheduleSource — uniform over the ready set, seeded. The
+//     workhorse of the explorer sweep: cheap, unbiased, reproducible.
+//   * PctScheduleSource — PCT-style priority schedules: each lane gets a
+//     random fixed priority, the highest-priority ready lane always runs,
+//     and k seeded change points demote the running leader. Finds
+//     ordering bugs that need a small number of forced preemptions with
+//     provable probability (Burckhardt et al.'s PCT).
+//   * DfsScheduleSource — stateless exhaustive DFS over small
+//     configurations with sleep-set pruning: a branch whose next step
+//     commutes with every explored sibling's step is skipped, using the
+//     ADTs' state-independent commutativity as the (sound,
+//     under-approximating) independence relation.
+//   * ReplayScheduleSource — replays a recorded schedule string; past the
+//     recorded prefix it defaults to the lowest-id ready lane, which is
+//     what makes prefix-length bisection a schedule minimizer (the exact
+//     contract FaultPlan::max_faults bisection established for faults).
+//
+// A schedule is serialized as a compact string ("s1:<base36 digit per
+// choice>", or "s2:" comma-separated when a lane id exceeds 35) that
+// replays byte-for-byte: same program + same schedule string => same
+// trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "dsched/wait_policy.h"
+
+namespace argus {
+
+/// One runnable lane offered to the source, with what it would do next.
+struct LaneChoice {
+  std::uint32_t lane{0};
+  LaneHint hint{};
+
+  friend bool operator==(const LaneChoice&, const LaneChoice&) = default;
+};
+
+class ScheduleSource {
+ public:
+  virtual ~ScheduleSource() = default;
+
+  /// Picks an index into `ready` (never empty; sorted by lane id). `step`
+  /// is the global decision counter of the current run.
+  virtual std::size_t pick(const std::vector<LaneChoice>& ready,
+                           std::uint64_t step) = 0;
+
+  /// Resets per-run state. Call before every execution.
+  virtual void begin_run() {}
+
+  /// After a run completes: advance to the next schedule. false = the
+  /// source has no further schedules (single-schedule sources, exhausted
+  /// or truncated DFS).
+  virtual bool next_run() { return false; }
+};
+
+class RandomScheduleSource final : public ScheduleSource {
+ public:
+  explicit RandomScheduleSource(std::uint64_t seed)
+      : seed_(seed), rng_(seed) {}
+
+  void begin_run() override { rng_ = SplitMix64(seed_); }
+
+  std::size_t pick(const std::vector<LaneChoice>& ready,
+                   std::uint64_t /*step*/) override {
+    return static_cast<std::size_t>(rng_.below(ready.size()));
+  }
+
+ private:
+  const std::uint64_t seed_;
+  SplitMix64 rng_;
+};
+
+class PctScheduleSource final : public ScheduleSource {
+ public:
+  /// `change_points` priority demotions, placed uniformly in the first
+  /// `horizon` decisions.
+  explicit PctScheduleSource(std::uint64_t seed,
+                             std::uint32_t change_points = 2,
+                             std::uint64_t horizon = 512);
+
+  void begin_run() override;
+  std::size_t pick(const std::vector<LaneChoice>& ready,
+                   std::uint64_t step) override;
+
+ private:
+  const std::uint64_t seed_;
+  const std::uint32_t change_points_;
+  const std::uint64_t horizon_;
+  SplitMix64 rng_{0};
+  std::unordered_map<std::uint32_t, std::int64_t> priorities_;
+  std::set<std::uint64_t> change_steps_;
+  std::int64_t low_water_{0};
+};
+
+class ReplayScheduleSource final : public ScheduleSource {
+ public:
+  explicit ReplayScheduleSource(std::vector<std::uint32_t> choices)
+      : choices_(std::move(choices)) {}
+
+  void begin_run() override {
+    next_ = 0;
+    diverged_ = false;
+  }
+
+  std::size_t pick(const std::vector<LaneChoice>& ready,
+                   std::uint64_t /*step*/) override;
+
+  /// True if a recorded choice named a lane that was not ready — the
+  /// program under replay diverged from the recording.
+  [[nodiscard]] bool diverged() const { return diverged_; }
+
+ private:
+  const std::vector<std::uint32_t> choices_;
+  std::size_t next_{0};
+  bool diverged_{false};
+};
+
+/// One potential transition for the DFS independence relation: a lane
+/// together with the hint it carried at the branching node.
+struct DfsStep {
+  std::uint32_t lane{0};
+  LaneHint hint{};
+
+  friend bool operator==(const DfsStep&, const DfsStep&) = default;
+};
+
+/// True when the two steps commute (executing them in either order leads
+/// to equivalent behavior). Must be sound: when unsure, return false.
+using DfsIndependence = std::function<bool(const DfsStep&, const DfsStep&)>;
+
+struct DfsOptions {
+  std::uint64_t max_runs{4096};   // truncation bound (not exhaustion)
+  std::size_t max_depth{4096};    // branch only in the first max_depth steps
+  DfsIndependence independent;    // null = no pruning
+};
+
+class DfsScheduleSource final : public ScheduleSource {
+ public:
+  explicit DfsScheduleSource(DfsOptions options = {})
+      : options_(std::move(options)) {}
+
+  void begin_run() override { depth_ = 0; }
+  std::size_t pick(const std::vector<LaneChoice>& ready,
+                   std::uint64_t step) override;
+  bool next_run() override;
+
+  /// Completed runs so far.
+  [[nodiscard]] std::uint64_t runs() const { return runs_; }
+  /// Branches skipped because their step slept (commuted with an explored
+  /// sibling).
+  [[nodiscard]] std::uint64_t pruned_branches() const { return pruned_; }
+  /// True once next_run() returned false because the tree is fully
+  /// explored (as opposed to hitting max_runs).
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+ private:
+  struct Frame {
+    std::vector<LaneChoice> ready;
+    std::vector<DfsStep> sleep;  // inherited + explored siblings
+    std::size_t choice{0};
+    bool redundant{false};  // every branch slept: run ready[0], don't branch
+  };
+
+  [[nodiscard]] bool in_sleep(const Frame& f, const LaneChoice& c) const;
+  /// First branch index >= from not in f.sleep, counting skips into
+  /// pruned_. f.ready.size() when none.
+  std::size_t next_open_choice(Frame& f, std::size_t from);
+
+  const DfsOptions options_;
+  std::vector<Frame> frames_;
+  std::size_t depth_{0};
+  std::uint64_t runs_{0};
+  std::uint64_t pruned_{0};
+  bool exhausted_{false};
+};
+
+/// "s1:<base36 per choice>" when every lane id < 36, else
+/// "s2:c0,c1,...". Deterministic; "" round-trips as the empty schedule.
+[[nodiscard]] std::string to_schedule_string(
+    const std::vector<std::uint32_t>& choices);
+
+/// Parses to_schedule_string's output. On failure returns false and sets
+/// *error (when non-null).
+[[nodiscard]] bool parse_schedule_string(const std::string& text,
+                                         std::vector<std::uint32_t>* out,
+                                         std::string* error);
+
+}  // namespace argus

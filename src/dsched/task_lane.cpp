@@ -1,0 +1,312 @@
+#include "dsched/task_lane.h"
+
+#include <algorithm>
+
+namespace argus {
+
+namespace {
+
+/// The lane owned by this thread, if any. A plain pointer is safe: lane
+/// threads are joined (and daemons retired) before their scheduler dies.
+thread_local DeterministicScheduler* t_owner = nullptr;
+thread_local void* t_lane = nullptr;
+
+}  // namespace
+
+DeterministicScheduler::DeterministicScheduler(ScheduleSource& source,
+                                               DschedOptions options)
+    : source_(source), options_(options) {}
+
+DeterministicScheduler::~DeterministicScheduler() {
+  release();
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+DeterministicScheduler::Lane* DeterministicScheduler::current_lane() const {
+  return t_owner == this ? static_cast<Lane*>(t_lane) : nullptr;
+}
+
+void DeterministicScheduler::park(std::unique_lock<std::mutex>& sl, Lane* me) {
+  active_ = kControl;
+  scv_.notify_all();
+  scv_.wait(sl, [&] {
+    return released_.load(std::memory_order_relaxed) || active_ == me->id;
+  });
+  me->state = Lane::St::kRunning;
+  me->channel = nullptr;
+  me->deadline = kNoDeadline;
+}
+
+std::size_t DeterministicScheduler::spawn(std::string name,
+                                          std::function<void()> body) {
+  std::unique_lock sl(smu_);
+  auto lane = std::make_unique<Lane>();
+  Lane* raw = lane.get();
+  raw->owner = this;
+  raw->id = lanes_.size();
+  raw->name = std::move(name);
+  raw->state = Lane::St::kReady;
+  lanes_.push_back(std::move(lane));
+  const std::size_t id = raw->id;
+  scv_.notify_all();  // await_lanes watches lanes_.size()
+  raw->thread = std::thread([this, raw, body = std::move(body)] {
+    t_owner = this;
+    t_lane = raw;
+    {
+      std::unique_lock lane_lock(smu_);
+      scv_.wait(lane_lock, [&] {
+        return released_.load(std::memory_order_relaxed) || active_ == raw->id;
+      });
+      raw->state = Lane::St::kRunning;
+    }
+    try {
+      body();
+    } catch (const std::exception& e) {
+      const std::unique_lock lane_lock(smu_);
+      raw->error = e.what();
+    } catch (...) {
+      const std::unique_lock lane_lock(smu_);
+      raw->error = "unknown exception";
+    }
+    std::unique_lock lane_lock(smu_);
+    raw->state = Lane::St::kFinished;
+    if (active_ == raw->id) active_ = kControl;
+    scv_.notify_all();
+    t_owner = nullptr;
+    t_lane = nullptr;
+  });
+  return id;
+}
+
+void DeterministicScheduler::await_lanes(std::size_t count) {
+  std::unique_lock sl(smu_);
+  scv_.wait(sl, [&] { return lanes_.size() >= count; });
+}
+
+void DeterministicScheduler::run() {
+  std::unique_lock sl(smu_);
+  for (;;) {
+    bool workers_left = false;
+    for (const auto& lane : lanes_) {
+      if (!lane->daemon && lane->state != Lane::St::kFinished) {
+        workers_left = true;
+        break;
+      }
+    }
+    if (!workers_left) break;
+    if (steps_ >= options_.max_steps) {
+      overflowed_ = true;
+      break;
+    }
+
+    // Ready set: runnable lanes plus blocked lanes whose virtual deadline
+    // has passed (their wait round times out). Lane-id order.
+    std::vector<LaneChoice> ready;
+    for (const auto& lane : lanes_) {
+      const bool runnable =
+          lane->state == Lane::St::kReady ||
+          (lane->state == Lane::St::kBlocked && lane->deadline <= now_us_);
+      if (runnable) {
+        ready.push_back(
+            LaneChoice{static_cast<std::uint32_t>(lane->id), lane->hint});
+      }
+    }
+    if (ready.empty()) {
+      // Discrete-event jump: advance virtual time to the earliest blocked
+      // deadline. With none (untimed waits only), wake everyone — their
+      // predicate loops re-decide (a legal spurious wakeup).
+      std::uint64_t min_deadline = kNoDeadline;
+      for (const auto& lane : lanes_) {
+        if (lane->state == Lane::St::kBlocked) {
+          min_deadline = std::min(min_deadline, lane->deadline);
+        }
+      }
+      if (min_deadline == kNoDeadline) break;  // nothing can ever run again
+      now_us_ = std::max(now_us_, min_deadline);
+      continue;
+    }
+
+    const std::size_t pick =
+        std::min(source_.pick(ready, steps_), ready.size() - 1);
+    Lane* chosen = lanes_[ready[pick].lane].get();
+    choices_.push_back(ready[pick].lane);
+    ++steps_;
+    now_us_ += options_.quantum_us;
+    active_ = chosen->id;
+    scv_.notify_all();
+    scv_.wait(sl, [&] { return active_ == kControl; });
+  }
+  release_locked();
+  sl.unlock();
+  for (auto& lane : lanes_) {
+    if (!lane->daemon && lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+void DeterministicScheduler::release() {
+  const std::unique_lock sl(smu_);
+  release_locked();
+}
+
+void DeterministicScheduler::release_locked() {
+  released_.store(true, std::memory_order_release);
+  scv_.notify_all();
+}
+
+std::size_t DeterministicScheduler::lane_count() const {
+  const std::unique_lock sl(smu_);
+  return lanes_.size();
+}
+
+std::vector<std::uint32_t> DeterministicScheduler::choices() const {
+  const std::unique_lock sl(smu_);
+  return choices_;
+}
+
+std::string DeterministicScheduler::schedule_string() const {
+  return to_schedule_string(choices());
+}
+
+std::uint64_t DeterministicScheduler::steps() const {
+  const std::unique_lock sl(smu_);
+  return steps_;
+}
+
+bool DeterministicScheduler::overflowed() const {
+  const std::unique_lock sl(smu_);
+  return overflowed_;
+}
+
+std::vector<std::string> DeterministicScheduler::lane_errors() const {
+  const std::unique_lock sl(smu_);
+  std::vector<std::string> out;
+  for (const auto& lane : lanes_) {
+    if (!lane->error.empty()) {
+      out.push_back("lane " + std::to_string(lane->id) + " " + lane->name +
+                    ": " + lane->error);
+    }
+  }
+  return out;
+}
+
+std::uint64_t DeterministicScheduler::now_us() {
+  const std::unique_lock sl(smu_);
+  return now_us_;
+}
+
+void DeterministicScheduler::yield(const LaneHint& hint) {
+  Lane* me = current_lane();
+  if (me == nullptr || released_.load(std::memory_order_acquire)) return;
+  std::unique_lock sl(smu_);
+  if (released_.load(std::memory_order_relaxed)) return;
+  me->state = Lane::St::kReady;
+  me->hint = hint;
+  me->deadline = kNoDeadline;
+  park(sl, me);
+}
+
+void DeterministicScheduler::wait_round(const LaneHint& hint,
+                                        const void* channel,
+                                        std::unique_lock<std::mutex>& lock,
+                                        std::condition_variable& cv,
+                                        std::chrono::microseconds timeout) {
+  Lane* me = current_lane();
+  if (me == nullptr || released_.load(std::memory_order_acquire)) {
+    // Pass-through (control-thread probes, or free-run after release):
+    // behave like the plain bounded wait this call replaced.
+    if (timeout.count() > 0) {
+      cv.wait_for(lock, timeout);
+    } else {
+      cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    return;
+  }
+  std::unique_lock sl(smu_);
+  if (released_.load(std::memory_order_relaxed)) {
+    sl.unlock();
+    cv.wait_for(lock, timeout.count() > 0 ? timeout
+                                          : std::chrono::microseconds(2000));
+    return;
+  }
+  me->state = Lane::St::kBlocked;
+  me->channel = channel;
+  me->hint = hint;
+  me->deadline = timeout.count() > 0
+                     ? now_us_ + static_cast<std::uint64_t>(timeout.count())
+                     : kNoDeadline;
+  // Only one lane runs at a time, so registering blocked state under smu_
+  // before dropping the caller's lock leaves no lost-wakeup window.
+  lock.unlock();
+  park(sl, me);
+  sl.unlock();
+  lock.lock();
+}
+
+void DeterministicScheduler::notify(const void* channel) {
+  if (released_.load(std::memory_order_acquire)) return;
+  const std::unique_lock sl(smu_);
+  for (const auto& lane : lanes_) {
+    if (lane->state == Lane::St::kBlocked && lane->channel == channel) {
+      lane->state = Lane::St::kReady;
+      lane->deadline = kNoDeadline;
+    }
+  }
+}
+
+void DeterministicScheduler::sleep_us(WaitPoint point, std::uint64_t us) {
+  Lane* me = current_lane();
+  if (me == nullptr || released_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return;
+  }
+  std::unique_lock sl(smu_);
+  if (released_.load(std::memory_order_relaxed)) {
+    sl.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return;
+  }
+  me->state = Lane::St::kBlocked;
+  me->channel = nullptr;
+  me->hint = LaneHint{};
+  me->hint.point = point;
+  me->deadline = now_us_ + std::max<std::uint64_t>(us, 1);
+  park(sl, me);
+}
+
+void DeterministicScheduler::adopt_daemon(std::string name) {
+  if (released_.load(std::memory_order_acquire)) return;
+  std::unique_lock sl(smu_);
+  if (released_.load(std::memory_order_relaxed)) return;
+  auto lane = std::make_unique<Lane>();
+  Lane* raw = lane.get();
+  raw->owner = this;
+  raw->id = lanes_.size();
+  raw->name = std::move(name);
+  raw->daemon = true;
+  raw->state = Lane::St::kReady;
+  lanes_.push_back(std::move(lane));
+  t_owner = this;
+  t_lane = raw;
+  scv_.notify_all();  // await_lanes watches lanes_.size()
+  // Park immediately: from registration on, this thread runs only when
+  // scheduled, preserving the single-active-lane invariant.
+  scv_.wait(sl, [&] {
+    return released_.load(std::memory_order_relaxed) || active_ == raw->id;
+  });
+  raw->state = Lane::St::kRunning;
+}
+
+void DeterministicScheduler::retire_daemon() {
+  Lane* me = current_lane();
+  if (me == nullptr) return;
+  const std::unique_lock sl(smu_);
+  me->state = Lane::St::kFinished;
+  if (active_ == me->id) active_ = kControl;
+  scv_.notify_all();
+  t_owner = nullptr;
+  t_lane = nullptr;
+}
+
+}  // namespace argus

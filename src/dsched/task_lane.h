@@ -1,0 +1,145 @@
+// DeterministicScheduler: a cooperative scheduler over TaskLanes with
+// virtual time — the WaitPolicy implementation behind
+// SchedMode::kDeterministic.
+//
+// Model:
+//
+//   * Each spawned workload thread and each adopted daemon thread is a
+//     TaskLane. At most one lane executes runtime code at any moment; the
+//     control thread (run()) picks which, by asking the ScheduleSource at
+//     every scheduling decision. All other lanes are parked on the
+//     scheduler's own condition variable, holding no runtime mutexes —
+//     yield() is only legal lock-free, and wait_round() releases exactly
+//     the caller's lock. That single-active-lane invariant is what makes
+//     lost wakeups impossible and every execution a pure function of
+//     (program, seed, schedule).
+//   * Virtual time: now_us() advances by a fixed quantum per decision.
+//     When no lane is ready, time jumps to the earliest blocked lane's
+//     deadline — discrete-event style — so wait timeouts (including the
+//     objects' doom-on-timeout backstop) are decided by the schedule,
+//     never the wall clock, and a run with an unbreakable wait terminates
+//     deterministically instead of hanging.
+//   * Every decision appends the chosen lane id to the schedule trace;
+//     to_schedule_string(choices()) is the compact replay string.
+//   * release() ends deterministic control: every lane (daemons included)
+//     free-runs on OS scheduling from then on, and all policy calls
+//     become pass-throughs to the real primitives. run() releases on
+//     exit; the destructor releases defensively. A run that exceeds
+//     max_steps is released too and flagged overflowed() — the explorer
+//     refuses to certify it.
+//
+// Lock order: a lane may take the scheduler mutex while holding runtime
+// mutexes (notify() does), but never the reverse — the scheduler calls
+// into nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dsched/schedule_source.h"
+#include "dsched/wait_policy.h"
+
+namespace argus {
+
+struct DschedOptions {
+  /// Virtual microseconds per scheduling decision.
+  std::uint64_t quantum_us{1};
+  /// Decisions after which the run is released and flagged overflowed.
+  std::uint64_t max_steps{2'000'000};
+};
+
+class DeterministicScheduler final : public WaitPolicy {
+ public:
+  explicit DeterministicScheduler(ScheduleSource& source,
+                                  DschedOptions options = {});
+  ~DeterministicScheduler() override;
+
+  DeterministicScheduler(const DeterministicScheduler&) = delete;
+  DeterministicScheduler& operator=(const DeterministicScheduler&) = delete;
+
+  /// Registers a workload lane (id = registration order, starting at 0)
+  /// and starts its thread parked. Call before run().
+  std::size_t spawn(std::string name, std::function<void()> body);
+
+  /// Blocks until `count` lanes exist (spawned + adopted daemons). Call
+  /// after starting a daemon service and before spawning further lanes /
+  /// calling run(), so lane ids — and with them every schedule string —
+  /// are independent of OS thread startup timing.
+  void await_lanes(std::size_t count);
+
+  /// Drives the schedule until every non-daemon lane finishes (or
+  /// max_steps), then releases. Joins the workload threads.
+  void run();
+
+  /// Ends deterministic control: wakes every parked lane into free-run
+  /// mode. Idempotent; run() calls it on exit.
+  void release();
+
+  [[nodiscard]] std::size_t lane_count() const;
+
+  /// The decision trace of the (last) run. Stable once run() returned.
+  [[nodiscard]] std::vector<std::uint32_t> choices() const;
+  [[nodiscard]] std::string schedule_string() const;
+  [[nodiscard]] std::uint64_t steps() const;
+  [[nodiscard]] bool overflowed() const;
+  /// Uncaught exceptions from lane bodies ("lane <id> <name>: what").
+  [[nodiscard]] std::vector<std::string> lane_errors() const;
+
+  // WaitPolicy:
+  std::uint64_t now_us() override;
+  void yield(const LaneHint& hint) override;
+  void wait_round(const LaneHint& hint, const void* channel,
+                  std::unique_lock<std::mutex>& lock,
+                  std::condition_variable& cv,
+                  std::chrono::microseconds timeout) override;
+  void notify(const void* channel) override;
+  void sleep_us(WaitPoint point, std::uint64_t us) override;
+  void adopt_daemon(std::string name) override;
+  void retire_daemon() override;
+
+ private:
+  static constexpr std::uint64_t kNoDeadline = ~0ULL;
+  static constexpr std::size_t kControl = static_cast<std::size_t>(-1);
+
+  struct Lane {
+    DeterministicScheduler* owner{nullptr};
+    std::size_t id{0};
+    std::string name;
+    bool daemon{false};
+    enum class St { kReady, kRunning, kBlocked, kFinished } state{St::kReady};
+    const void* channel{nullptr};
+    std::uint64_t deadline{kNoDeadline};
+    LaneHint hint{};
+    std::string error;
+    std::thread thread;  // empty for adopted daemons
+  };
+
+  /// The calling thread's lane in *this* scheduler, else nullptr.
+  [[nodiscard]] Lane* current_lane() const;
+  /// Parks the calling lane and hands control back; returns when the lane
+  /// is scheduled again (or the scheduler is released). smu_ held.
+  void park(std::unique_lock<std::mutex>& sl, Lane* me);
+  void release_locked();
+
+  ScheduleSource& source_;
+  const DschedOptions options_;
+
+  mutable std::mutex smu_;
+  std::condition_variable scv_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::size_t active_{kControl};
+  std::atomic<bool> released_{false};
+  std::uint64_t now_us_{0};
+  std::uint64_t steps_{0};
+  bool overflowed_{false};
+  std::vector<std::uint32_t> choices_;
+};
+
+}  // namespace argus

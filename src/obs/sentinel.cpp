@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "dsched/wait_policy.h"
 #include "spec/serial.h"
 
 namespace argus {
@@ -68,6 +69,7 @@ void AtomicitySentinel::start() {
   if (running_) return;
   running_ = true;
   stop_requested_ = false;
+  loop_done_.store(false);
   thread_ = std::thread([this] { run_loop(); });
 }
 
@@ -77,7 +79,19 @@ void AtomicitySentinel::stop() {
     if (!running_) return;
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  // Bounded re-notify: a heavily delayed sentinel thread (TSan CI) can be
+  // between its predicate check and its wait when the first notification
+  // lands. Re-sending until the loop confirms exit (bounded, so shutdown
+  // can never itself become the hang) makes join() below a quick,
+  // already-exited join instead of an unbounded wait.
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    stop_cv_.notify_all();
+    if (options_.wait_policy != nullptr) {
+      options_.wait_policy->notify(&stop_cv_);
+    }
+    if (loop_done_.load()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   thread_.join();
   {
     const std::scoped_lock lock(thread_mu_);
@@ -86,15 +100,31 @@ void AtomicitySentinel::stop() {
 }
 
 void AtomicitySentinel::run_loop() {
+  WaitPolicy* policy = options_.wait_policy;
+  if (policy != nullptr) {
+    // Join the deterministic lane pool before touching any shared state:
+    // from here on, this thread runs only when the schedule picks it.
+    policy->adopt_daemon("sentinel");
+  }
   std::unique_lock lock(thread_mu_);
   while (!stop_requested_) {
-    stop_cv_.wait_for(lock, options_.window,
-                      [this] { return stop_requested_; });
+    if (policy == nullptr) {
+      stop_cv_.wait_for(lock, options_.window,
+                        [this] { return stop_requested_; });
+    } else {
+      const auto window_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              options_.window);
+      policy->wait_round(LaneHint{WaitPoint::kSentinelWindow}, &stop_cv_,
+                         lock, stop_cv_, window_us);
+    }
     lock.unlock();
     poll();
     lock.lock();
   }
   lock.unlock();
+  loop_done_.store(true);  // stop() may cease re-notifying
+  if (policy != nullptr) policy->retire_daemon();
   poll();  // final flush so stop() observes a fully checked stream
 }
 

@@ -62,6 +62,8 @@
 
 namespace argus {
 
+class WaitPolicy;
+
 struct SentinelOptions {
   /// Interval between background drain+check windows.
   std::chrono::milliseconds window{25};
@@ -71,6 +73,11 @@ struct SentinelOptions {
   /// Invoked (from the sentinel thread, or from poll()'s caller) with an
   /// explanation for every violation found.
   std::function<void(const std::string&)> on_violation;
+  /// When set (SchedMode::kDeterministic), the sentinel thread registers
+  /// itself as a daemon lane of the deterministic scheduler, so its
+  /// drain windows are schedule choices too. Runtime::start_sentinel
+  /// fills this in automatically.
+  WaitPolicy* wait_policy{nullptr};
 };
 
 class AtomicitySentinel {
@@ -168,6 +175,7 @@ class AtomicitySentinel {
   std::condition_variable stop_cv_;
   bool running_{false};
   bool stop_requested_{false};
+  std::atomic<bool> loop_done_{false};  // window loop exited; join is quick
   std::thread thread_;
 };
 

@@ -51,6 +51,7 @@ class LockSchedulerObject final : public ObjectBase {
                        to_string(op) + " on " + name());
     }
     txn.touch(this);
+    sched_point(op);
 
     std::unique_lock lock(mu_);
     record(argus::invoke(id(), txn.id(), op));
@@ -80,7 +81,7 @@ class LockSchedulerObject final : public ObjectBase {
     storage_.commit(txn.id());
     owners_.erase(txn.id());
     record(argus::commit(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   void abort(Transaction& txn) override {
@@ -88,7 +89,7 @@ class LockSchedulerObject final : public ObjectBase {
     storage_.abort(txn.id());
     owners_.erase(txn.id());
     record(argus::abort(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   [[nodiscard]] std::vector<LoggedOp> intentions_of(
@@ -101,7 +102,7 @@ class LockSchedulerObject final : public ObjectBase {
     const std::scoped_lock lock(mu_);
     storage_.reset();
     owners_.clear();
-    cv_.notify_all();
+    notify_object();
   }
 
   void replay(const ReplayContext&, const LoggedOp& logged) override {

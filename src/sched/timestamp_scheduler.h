@@ -47,6 +47,7 @@ class TimestampSchedulerObject final : public ObjectBase {
                        to_string(op) + " on " + name());
     }
     txn.touch(this);
+    sched_point(op);
     const Timestamp t = txn.start_ts();
     const bool is_read = A::is_read_only(op);
 
@@ -101,7 +102,7 @@ class TimestampSchedulerObject final : public ObjectBase {
     storage_.commit(txn.id());
     owners_.erase(txn.id());
     record(argus::commit(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   void abort(Transaction& txn) override {
@@ -110,7 +111,7 @@ class TimestampSchedulerObject final : public ObjectBase {
     owners_.erase(txn.id());
     // The ts marks deliberately stay: classic TO never lowers them.
     record(argus::abort(id(), txn.id()));
-    cv_.notify_all();
+    notify_object();
   }
 
   [[nodiscard]] std::vector<LoggedOp> intentions_of(
@@ -126,7 +127,7 @@ class TimestampSchedulerObject final : public ObjectBase {
     initiated_.clear();
     reads_.clear();
     writes_.clear();
-    cv_.notify_all();
+    notify_object();
   }
 
   void replay(const ReplayContext&, const LoggedOp& logged) override {

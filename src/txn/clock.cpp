@@ -1,5 +1,7 @@
 #include "txn/clock.h"
 
+#include "dsched/wait_policy.h"
+
 namespace argus {
 
 Timestamp LamportClock::begin_commit() {
@@ -12,9 +14,17 @@ Timestamp LamportClock::begin_commit() {
 
 void LamportClock::wait_for_turn(Timestamp ts) {
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] {
-    return !inflight_.empty() && *inflight_.begin() == ts;
-  });
+  WaitPolicy* policy = policy_.load(std::memory_order_acquire);
+  if (policy == nullptr) {
+    cv_.wait(lock, [&] {
+      return !inflight_.empty() && *inflight_.begin() == ts;
+    });
+    return;
+  }
+  while (!(!inflight_.empty() && *inflight_.begin() == ts)) {
+    policy->wait_round(LaneHint{WaitPoint::kClockTurn}, &cv_, lock, cv_,
+                       std::chrono::microseconds(1000));
+  }
 }
 
 void LamportClock::finish_commit(Timestamp ts) {
@@ -31,18 +41,37 @@ void LamportClock::finish_commit(Timestamp ts) {
     }
   }
   cv_.notify_all();
+  if (WaitPolicy* policy = policy_.load(std::memory_order_acquire)) {
+    policy->notify(&cv_);
+  }
 }
 
 Timestamp LamportClock::read_only_begin() {
   std::unique_lock lock(mu_);
   const Timestamp ts = next();
-  cv_.wait(lock, [&] { return covered_locked(ts); });
+  WaitPolicy* policy = policy_.load(std::memory_order_acquire);
+  if (policy == nullptr) {
+    cv_.wait(lock, [&] { return covered_locked(ts); });
+    return ts;
+  }
+  while (!covered_locked(ts)) {
+    policy->wait_round(LaneHint{WaitPoint::kClockCovered}, &cv_, lock, cv_,
+                       std::chrono::microseconds(1000));
+  }
   return ts;
 }
 
 void LamportClock::wait_covered(Timestamp ts) {
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return covered_locked(ts); });
+  WaitPolicy* policy = policy_.load(std::memory_order_acquire);
+  if (policy == nullptr) {
+    cv_.wait(lock, [&] { return covered_locked(ts); });
+    return;
+  }
+  while (!covered_locked(ts)) {
+    policy->wait_round(LaneHint{WaitPoint::kClockCovered}, &cv_, lock, cv_,
+                       std::chrono::microseconds(1000));
+  }
 }
 
 std::size_t LamportClock::inflight() const {

@@ -39,6 +39,8 @@
 
 namespace argus {
 
+class WaitPolicy;
+
 class LamportClock {
  public:
   LamportClock() = default;
@@ -89,6 +91,12 @@ class LamportClock {
   /// In-flight commit count (metrics).
   [[nodiscard]] std::size_t inflight() const;
 
+  /// Routes this clock's blocking waits through `policy` (nullptr resets
+  /// to plain condition-variable waits). Set before concurrent use.
+  void set_wait_policy(WaitPolicy* policy) {
+    policy_.store(policy, std::memory_order_release);
+  }
+
  private:
   [[nodiscard]] bool covered_locked(Timestamp ts) const {
     return inflight_.empty() || *inflight_.begin() > ts;
@@ -96,6 +104,7 @@ class LamportClock {
 
   std::atomic<Timestamp> counter_{0};
   std::atomic<Timestamp> watermark_{0};
+  std::atomic<WaitPolicy*> policy_{nullptr};
 
   mutable std::mutex mu_;          // guards inflight_, last_commit_
   std::condition_variable cv_;     // signalled on finish_commit

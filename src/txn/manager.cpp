@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/scope_guard.h"
+#include "dsched/wait_policy.h"
 #include "fault/fault.h"
 
 namespace argus {
@@ -21,6 +22,10 @@ std::uint64_t micros_between(SteadyClock::time_point from,
 }  // namespace
 
 std::shared_ptr<Transaction> TransactionManager::begin(TxnKind kind) {
+  // Scheduling point: a deterministic run decides here who begins next.
+  if (WaitPolicy* policy = wait_policy()) {
+    policy->yield(LaneHint{WaitPoint::kTxnBegin});
+  }
   Timestamp ts;
   if (commit_mode() == CommitMode::kSingleMutex) {
     const std::scoped_lock lock(commit_mu_);
@@ -62,6 +67,11 @@ std::shared_ptr<Transaction> TransactionManager::begin_with_timestamp(
 }
 
 void TransactionManager::commit(const std::shared_ptr<Transaction>& t) {
+  // Scheduling point: commit order is a schedule choice, not an accident
+  // of OS thread timing.
+  if (WaitPolicy* policy = wait_policy()) {
+    policy->yield(LaneHint{WaitPoint::kTxnCommit});
+  }
   if (t->state() != TxnState::kActive) {
     throw UsageError("commit of finished transaction " + to_string(t->id()));
   }

@@ -49,6 +49,7 @@
 namespace argus {
 
 class FaultInjector;
+class WaitPolicy;
 
 struct TxnStats {
   std::uint64_t begun{0};
@@ -141,6 +142,20 @@ class TransactionManager {
     return fault_.load(std::memory_order_acquire);
   }
 
+  /// Wires (or clears, with nullptr) the deterministic-scheduling hook
+  /// through the manager's scheduling points, the clock's turn/coverage
+  /// waits, and the stable log's leader/follower handoff. Objects consult
+  /// it via their TransactionManager. Normally set once by a Runtime
+  /// constructed in SchedMode::kDeterministic, before any activity runs.
+  void set_wait_policy(WaitPolicy* policy) {
+    wait_policy_.store(policy, std::memory_order_release);
+    clock_.set_wait_policy(policy);
+    log_.set_wait_policy(policy);
+  }
+  [[nodiscard]] WaitPolicy* wait_policy() const {
+    return wait_policy_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] TxnStats stats() const;
   [[nodiscard]] CommitPipelineStats pipeline_stats() const;
 
@@ -168,6 +183,7 @@ class TransactionManager {
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<CommitMode> mode_{CommitMode::kPipelined};
   std::atomic<FaultInjector*> fault_{nullptr};
+  std::atomic<WaitPolicy*> wait_policy_{nullptr};
   LamportClock clock_;
   DeadlockDetector detector_;
   StableLog log_;

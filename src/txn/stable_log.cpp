@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <thread>
 
+#include "dsched/wait_policy.h"
 #include "fault/fault.h"
 
 namespace argus {
+
+namespace {
+
+/// Simulated storage latency: virtual time under a wait policy, wall
+/// clock otherwise. Call with no lock held.
+void sleep_for_us(WaitPolicy* policy, std::int64_t us) {
+  if (us <= 0) return;
+  if (policy != nullptr) {
+    policy->sleep_us(WaitPoint::kLogSleep, static_cast<std::uint64_t>(us));
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
 
 void StableLog::insert_forced_locked(CommitLogRecord record) {
   // Committers almost always force in near-timestamp order, so the scan
@@ -26,7 +42,7 @@ void StableLog::append(CommitLogRecord record) {
     const std::scoped_lock lock(mu_);
     delay = force_delay_;
   }
-  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  sleep_for_us(policy_.load(std::memory_order_acquire), delay.count());
   const std::scoped_lock lock(mu_);
   insert_forced_locked(std::move(record));
   ++stats_.forces;
@@ -40,6 +56,7 @@ AppendResult StableLog::append_group(CommitLogRecord record) {
 
   std::unique_lock lock(mu_);
   queue_.push_back(slot);
+  WaitPolicy* policy = policy_.load(std::memory_order_acquire);
 
   while (slot->state == SlotState::kQueued) {
     if (!flush_active_) {
@@ -66,11 +83,18 @@ AppendResult StableLog::append_group(CommitLogRecord record) {
             force_delay_ + std::chrono::microseconds(decision.latency_us);
         if (delay.count() > 0) {
           lock.unlock();
-          std::this_thread::sleep_for(delay);
+          sleep_for_us(policy, delay.count());
           lock.lock();
         }
-        cv_.wait(lock,
-                 [&] { return !hold_flushes_ || generation_ != generation; });
+        if (policy == nullptr) {
+          cv_.wait(lock,
+                   [&] { return !hold_flushes_ || generation_ != generation; });
+        } else {
+          while (hold_flushes_ && generation_ == generation) {
+            policy->wait_round(LaneHint{WaitPoint::kLogLeader}, &cv_, lock,
+                               cv_, std::chrono::microseconds(1000));
+          }
+        }
         if (generation_ != generation) {
           dropped = true;
           break;
@@ -86,7 +110,7 @@ AppendResult StableLog::append_group(CommitLogRecord record) {
               std::chrono::microseconds(decision.retry_backoff_us) * attempts;
           if (backoff.count() > 0) {
             lock.unlock();
-            std::this_thread::sleep_for(backoff);
+            sleep_for_us(policy, backoff.count());
             lock.lock();
           }
           if (generation_ != generation) {
@@ -132,8 +156,12 @@ AppendResult StableLog::append_group(CommitLogRecord record) {
         }
       }
       cv_.notify_all();
-    } else {
+      if (policy != nullptr) policy->notify(&cv_);
+    } else if (policy == nullptr) {
       cv_.wait(lock);
+    } else {
+      policy->wait_round(LaneHint{WaitPoint::kLogFollower}, &cv_, lock, cv_,
+                         std::chrono::microseconds(1000));
     }
   }
   switch (slot->state) {
@@ -154,6 +182,9 @@ void StableLog::drop_pending() {
     queue_.clear();
   }
   cv_.notify_all();
+  if (WaitPolicy* policy = policy_.load(std::memory_order_acquire)) {
+    policy->notify(&cv_);
+  }
 }
 
 void StableLog::set_force_delay(std::chrono::microseconds delay) {
@@ -172,6 +203,9 @@ void StableLog::release_flushes() {
     hold_flushes_ = false;
   }
   cv_.notify_all();
+  if (WaitPolicy* policy = policy_.load(std::memory_order_acquire)) {
+    policy->notify(&cv_);
+  }
 }
 
 StableLog::GroupStats StableLog::group_stats() const {

@@ -48,6 +48,7 @@
 namespace argus {
 
 class FaultInjector;
+class WaitPolicy;
 
 /// One executed operation together with the result it returned. The
 /// result is logged because nondeterministic operations (Bag::remove)
@@ -123,6 +124,13 @@ class StableLog {
     fault_.store(injector, std::memory_order_release);
   }
 
+  /// Routes the log's blocking waits and simulated latencies through
+  /// `policy` (nullptr resets to plain waits/sleeps). Set before
+  /// concurrent use.
+  void set_wait_policy(WaitPolicy* policy) {
+    policy_.store(policy, std::memory_order_release);
+  }
+
   struct GroupStats {
     std::uint64_t forces{0};         // flush round trips
     std::uint64_t records_forced{0};
@@ -164,6 +172,7 @@ class StableLog {
   std::uint64_t generation_{0};  // bumped by drop_pending
   std::chrono::microseconds force_delay_{0};
   std::atomic<FaultInjector*> fault_{nullptr};
+  std::atomic<WaitPolicy*> policy_{nullptr};
   GroupStats stats_;
 };
 

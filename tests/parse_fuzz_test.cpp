@@ -1,0 +1,126 @@
+// Round-trip property test for the parse.h text format: random
+// well-formed histories (check/random_history) rendered via
+// History::to_string(), re-parsed, and compared event for event —
+// including histories salted with the '#' fault-comment lines the fault
+// injector appends to its traces (parse must skip them, byte-for-byte
+// traces depend on it).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "check/random_history.h"
+#include "check/system.h"
+#include "common/rng.h"
+#include "hist/parse.h"
+#include "spec/adt_spec.h"
+#include "spec/adts/bank_account.h"
+#include "spec/adts/fifo_queue.h"
+
+namespace argus {
+namespace {
+
+SystemSpec two_object_system() {
+  SystemSpec system;
+  system.add_object(ObjectId{1},
+                    std::make_shared<AdtSpec<BankAccountAdt>>());
+  system.add_object(ObjectId{2}, std::make_shared<AdtSpec<FifoQueueAdt>>());
+  return system;
+}
+
+void expect_round_trip(const History& h, const std::string& text) {
+  const ParseResult parsed = parse_history(text);
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error << "\n" << text;
+  ASSERT_EQ(parsed.history->events().size(), h.events().size());
+  for (std::size_t i = 0; i < h.events().size(); ++i) {
+    EXPECT_EQ(parsed.history->events()[i], h.events()[i])
+        << "event " << i << " of\n"
+        << text;
+  }
+}
+
+TEST(ParseFuzz, RandomHistoriesRoundTrip) {
+  const SystemSpec system = two_object_system();
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomHistoryOptions options;
+    options.activities = 2 + static_cast<int>(seed % 4);
+    options.ops_per_activity = 1 + static_cast<int>(seed % 5);
+    options.abort_percent = static_cast<int>((seed * 13) % 50);
+    options.contiguity_percent = static_cast<int>((seed * 29) % 101);
+    options.seed = seed;
+    const History h = random_atomic_history(system, options);
+    expect_round_trip(h, h.to_string());
+  }
+}
+
+TEST(ParseFuzz, FaultCommentLinesAreIgnored) {
+  // The fault injector's trace_to_string() appends lines like
+  // "# fault force-fail arrival=3 txn=t7" after the history; run traces
+  // are history text + comments. Salt every gap with such lines (and
+  // blanks, and indentation) and the parsed events must be unchanged.
+  const SystemSpec system = two_object_system();
+  SplitMix64 salt_rng(99);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomHistoryOptions options;
+    options.activities = 3;
+    options.ops_per_activity = 3;
+    options.abort_percent = 25;
+    options.seed = seed;
+    const History h = random_atomic_history(system, options);
+
+    std::istringstream in(h.to_string());
+    std::ostringstream salted;
+    salted << "# fault-injector trace (seed " << seed << ")\n\n";
+    std::string line;
+    while (std::getline(in, line)) {
+      salted << "  " << line << "\n";
+      switch (salt_rng.below(4)) {
+        case 0:
+          salted << "# fault force-fail arrival=" << salt_rng.below(100)
+                 << "\n";
+          break;
+        case 1:
+          salted << "\n";
+          break;
+        case 2:
+          salted << "\t# fault crash point=mid-apply\n";
+          break;
+        default:
+          break;
+      }
+    }
+    expect_round_trip(h, salted.str());
+  }
+}
+
+TEST(ParseFuzz, TimestampedEventsRoundTrip) {
+  // The random generator produces the dynamic flavor; cover the
+  // timestamped initiate/commit forms (static and hybrid histories)
+  // explicitly.
+  History h;
+  h.append(initiate(ObjectId{1}, ActivityId{1}, 5));
+  h.append(invoke(ObjectId{1}, ActivityId{1}, account::deposit(3)));
+  h.append(respond(ObjectId{1}, ActivityId{1}, Value{Unit{}}));
+  h.append(commit_at(ObjectId{1}, ActivityId{1}, 9));
+  h.append(invoke(ObjectId{2}, ActivityId{2}, fifo::dequeue()));
+  h.append(respond(ObjectId{2}, ActivityId{2}, Value{7}));
+  h.append(abort(ObjectId{2}, ActivityId{2}));
+  expect_round_trip(h, h.to_string());
+}
+
+TEST(ParseFuzz, LargeInterleavedHistoryRoundTrips) {
+  const SystemSpec system = two_object_system();
+  RandomHistoryOptions options;
+  options.activities = 12;
+  options.ops_per_activity = 6;
+  options.abort_percent = 15;
+  options.contiguity_percent = 0;  // maximally interleaved
+  options.seed = 4242;
+  const History h = random_atomic_history(system, options);
+  EXPECT_GT(h.events().size(), 100u);
+  expect_round_trip(h, h.to_string());
+}
+
+}  // namespace
+}  // namespace argus
