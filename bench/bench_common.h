@@ -15,9 +15,12 @@
 namespace argus::bench {
 
 /// Machine-readable mirror of every counter published via report*():
-/// rewritten after each report to BENCH_<binary>.json in the working
-/// directory, so the perf trajectory can be diffed across PRs without
-/// scraping the human-oriented console table.
+/// rewritten after each report to BENCH_<binary>.json in the repository
+/// root (ARGUS_BENCH_JSON_DIR, set by bench/CMakeLists.txt; falls back
+/// to the working directory when unset), so the perf trajectory can be
+/// diffed across PRs without scraping the human-oriented console table —
+/// and so CI finds every artifact in one place no matter which directory
+/// the binary ran from.
 class JsonSink {
  public:
   static JsonSink& instance() {
@@ -44,7 +47,12 @@ class JsonSink {
   }
 
   void write_locked() const {
-    std::ofstream out(std::string("BENCH_") + program_invocation_short_name +
+#ifdef ARGUS_BENCH_JSON_DIR
+    const std::string dir = std::string(ARGUS_BENCH_JSON_DIR) + "/";
+#else
+    const std::string dir;
+#endif
+    std::ofstream out(dir + "BENCH_" + program_invocation_short_name +
                       ".json");
     out << "{\n";
     bool first_bench = true;
@@ -90,6 +98,10 @@ inline void report(benchmark::State& state, const WorkloadResult& result,
   counters["abort_deadlock"] = reason_count(AbortReason::kDeadlock);
   counters["abort_tsorder"] = reason_count(AbortReason::kTimestampOrder);
   counters["abort_timeout"] = reason_count(AbortReason::kWaitTimeout);
+  counters["abort_validation"] = reason_count(AbortReason::kValidation);
+  counters["retries"] = static_cast<double>(result.executor.retries);
+  counters["validation_aborts"] =
+      static_cast<double>(result.executor.validation_aborts);
   if (result.pipeline.commits > 0) {
     counters["pipeline_commits"] =
         static_cast<double>(result.pipeline.commits);

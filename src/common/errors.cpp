@@ -12,6 +12,8 @@ std::string to_string(AbortReason r) {
       return "timestamp-order";
     case AbortReason::kWaitTimeout:
       return "wait-timeout";
+    case AbortReason::kValidation:
+      return "validation";
     case AbortReason::kCrash:
       return "crash";
     case AbortReason::kIoError:

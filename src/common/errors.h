@@ -24,6 +24,8 @@ enum class AbortReason {
   kDeadlock,           // chosen as deadlock victim
   kTimestampOrder,     // static atomicity: op would invalidate a later-ts op
   kWaitTimeout,        // gave up waiting for a lock / version
+  kValidation,         // OCC/MVCC: commit-time validation lost to an
+                       // earlier committer (first-committer-wins)
   kCrash,              // runtime crash discarded the active transaction
   kIoError,            // stable-log force failed after exhausting retries
   kSystem,             // internal shutdown

@@ -1,0 +1,38 @@
+#include "core/cc_mode.h"
+
+namespace argus {
+
+std::string to_string(CCMode m) {
+  switch (m) {
+    case CCMode::kDynamic:
+      return "dynamic";
+    case CCMode::kStatic:
+      return "static";
+    case CCMode::kHybrid:
+      return "hybrid";
+    case CCMode::kOcc:
+      return "occ";
+    case CCMode::kMvcc:
+      return "mvcc";
+  }
+  return "?";
+}
+
+bool parse_cc_mode(const std::string& name, CCMode* out) {
+  for (CCMode m : all_cc_modes()) {
+    if (to_string(m) == name) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<CCMode>& all_cc_modes() {
+  static const std::vector<CCMode> modes = {CCMode::kDynamic, CCMode::kStatic,
+                                            CCMode::kHybrid, CCMode::kOcc,
+                                            CCMode::kMvcc};
+  return modes;
+}
+
+}  // namespace argus

@@ -1,0 +1,46 @@
+// CCMode: the concurrency-control mode a runtime (and its TxnExecutor)
+// operates under — the knob the §5.1 head-to-head turns. The three
+// data-dependent modes are the paper's local atomicity properties; OCC
+// and MVCC are the conflict/validation-based foils (see
+// core/occ_object.h). Lives in core (not sched) so the Runtime can carry
+// the mode and gate lock-only machinery — the deadlock detector and the
+// argus_object_wait*/argus_deadlocks_* metrics are meaningless under
+// OCC/MVCC, whose objects never block.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace argus {
+
+enum class CCMode {
+  kDynamic,  // §4.1 — intentions lists + data-dependent admission
+  kStatic,   // §4.2 — generalized multi-version timestamp ordering
+  kHybrid,   // §4.3 — dynamic updates + commit-time timestamps
+  kOcc,      // validate-at-commit, first-committer-wins, abort-and-retry
+  kMvcc,     // OCC updates + timestamp-keyed versions, snapshot reads
+};
+
+[[nodiscard]] std::string to_string(CCMode m);
+
+/// Parses the to_string form; returns false (and leaves *out alone) on an
+/// unknown name.
+[[nodiscard]] bool parse_cc_mode(const std::string& name, CCMode* out);
+
+/// All modes, in enum order (sweep helpers).
+[[nodiscard]] const std::vector<CCMode>& all_cc_modes();
+
+/// True when the mode admits operations by blocking (intentions-list or
+/// lock-style waits) — i.e. when the deadlock detector and the wait/
+/// deadlock metrics are live machinery rather than dead weight.
+[[nodiscard]] constexpr bool uses_blocking_admission(CCMode m) {
+  return m != CCMode::kOcc && m != CCMode::kMvcc;
+}
+
+/// True when read-only transactions get an abort-free timestamp snapshot
+/// under this mode.
+[[nodiscard]] constexpr bool mode_supports_snapshot_reads(CCMode m) {
+  return m == CCMode::kHybrid || m == CCMode::kStatic || m == CCMode::kMvcc;
+}
+
+}  // namespace argus

@@ -57,6 +57,12 @@ FaultInjector* Runtime::fault_injector() const {
   return fault_injector_.get();
 }
 
+void Runtime::set_executor_stats(
+    std::shared_ptr<const ExecutorStatsBlock> stats) {
+  const std::scoped_lock lock(executor_mu_);
+  executor_stats_ = std::move(stats);
+}
+
 History Runtime::history() const {
   switch (mode_) {
     case RecorderMode::kOff:
@@ -156,9 +162,14 @@ void Runtime::register_collectors() {
     out.push_back({"argus_watermark_lag", {}, double(p.watermark_lag())});
     out.push_back(
         {"argus_inflight_commits", {}, double(tm_.clock().inflight())});
-    out.push_back({"argus_deadlocks_resolved_total",
-                   {},
-                   double(tm_.detector().deadlocks_resolved())});
+    // Lock-mode machinery: under OCC/MVCC objects never block, the
+    // detector never runs, and emitting its zero would read as "deadlock
+    // freedom measured" when nothing was measured at all.
+    if (uses_blocking_admission(cc_mode())) {
+      out.push_back({"argus_deadlocks_resolved_total",
+                     {},
+                     double(tm_.detector().deadlocks_resolved())});
+    }
     out.push_back(
         {"argus_recovery_replayed_records_total",
          {},
@@ -189,6 +200,7 @@ void Runtime::register_collectors() {
                      "counter");
   metrics_->add_collector([this]() {
     std::vector<MetricSample> out;
+    const bool blocking = uses_blocking_admission(cc_mode());
     for (const auto& [id, obj] : objects_) {
       auto base = std::dynamic_pointer_cast<ObjectBase>(obj);
       if (!base) continue;
@@ -198,12 +210,48 @@ void Runtime::register_collectors() {
           {"argus_object_invocations_total", labels, double(c.invocations)});
       out.push_back({"argus_object_commits_total", labels, double(c.commits)});
       out.push_back({"argus_object_aborts_total", labels, double(c.aborts)});
+      if (!blocking) continue;  // wait series is lock-mode-only telemetry
       out.push_back({"argus_object_waits_total", labels, double(c.waits)});
       out.push_back({"argus_object_wait_timeouts_total", labels,
                      double(c.wait_timeouts)});
       out.push_back({"argus_object_deadlock_dooms_total", labels,
                      double(c.deadlock_dooms)});
     }
+    return out;
+  });
+
+  // Executor pool (empty until a TxnExecutor publishes its stats block).
+  metrics_->describe("argus_executor_workers", "Executor pool size", "gauge");
+  metrics_->describe("argus_executor_queue_depth",
+                     "Tasks waiting for a pool worker", "gauge");
+  metrics_->describe("argus_executor_submitted_total",
+                     "Tasks submitted to the executor", "counter");
+  metrics_->describe("argus_executor_completed_total",
+                     "Tasks completed (committed or given up)", "counter");
+  metrics_->describe("argus_executor_retries_total",
+                     "Transaction re-begins after an abort", "counter");
+  metrics_->describe("argus_executor_validation_aborts_total",
+                     "Aborts from OCC/MVCC commit validation", "counter");
+  metrics_->describe("argus_executor_gave_up_total",
+                     "Tasks that exhausted their retry budget", "counter");
+  metrics_->add_collector([this]() {
+    std::vector<MetricSample> out;
+    std::shared_ptr<const ExecutorStatsBlock> stats;
+    {
+      const std::scoped_lock lock(executor_mu_);
+      stats = executor_stats_;
+    }
+    if (!stats) return out;
+    const ExecutorStatsSnapshot s = snapshot_of(*stats);
+    out.push_back({"argus_executor_workers", {}, double(s.workers)});
+    out.push_back({"argus_executor_queue_depth", {}, double(s.queue_depth)});
+    out.push_back({"argus_executor_submitted_total", {}, double(s.submitted)});
+    out.push_back({"argus_executor_completed_total", {}, double(s.completed)});
+    out.push_back({"argus_executor_retries_total", {}, double(s.retries)});
+    out.push_back({"argus_executor_validation_aborts_total",
+                   {},
+                   double(s.validation_aborts)});
+    out.push_back({"argus_executor_gave_up_total", {}, double(s.gave_up)});
     return out;
   });
 

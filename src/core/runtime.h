@@ -44,11 +44,14 @@
 #include <vector>
 
 #include "check/system.h"
+#include "core/cc_mode.h"
 #include "core/dynamic_object.h"
+#include "core/executor_stats.h"
 #include "fault/fault.h"
 #include "core/hybrid_bag.h"
 #include "core/hybrid_object.h"
 #include "core/hybrid_queue.h"
+#include "core/occ_object.h"
 #include "core/static_object.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
@@ -184,6 +187,16 @@ class Runtime {
     return create_impl<HybridAtomicObject<A>, A>(name);
   }
 
+  template <AdtTraits A>
+  std::shared_ptr<OccAtomicObject<A>> create_occ(const std::string& name) {
+    return create_occ_impl<A>(name, OccStorage::kSingleVersion);
+  }
+
+  template <AdtTraits A>
+  std::shared_ptr<OccAtomicObject<A>> create_mvcc(const std::string& name) {
+    return create_occ_impl<A>(name, OccStorage::kMultiVersion);
+  }
+
   std::shared_ptr<HybridFifoQueue> create_hybrid_queue(const std::string& name);
 
   std::shared_ptr<HybridBag> create_hybrid_bag(const std::string& name);
@@ -206,6 +219,24 @@ class Runtime {
   /// aborts+retries instead of stalling the run).
   void set_wait_timeout_all(std::chrono::milliseconds timeout);
 
+  /// The concurrency-control mode this runtime is driven under. Purely
+  /// informational for mixed-protocol runtimes (default kDynamic keeps
+  /// every metric live); under kOcc/kMvcc the lock-only telemetry —
+  /// argus_deadlocks_resolved_total and the argus_object_wait* series —
+  /// is suppressed, since those objects never block and the deadlock
+  /// detector never runs.
+  void set_cc_mode(CCMode mode) {
+    cc_mode_.store(mode, std::memory_order_release);
+  }
+  [[nodiscard]] CCMode cc_mode() const {
+    return cc_mode_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes a TxnExecutor's stats block to the argus_executor_*
+  /// metrics (latest pool wins; nullptr detaches). The runtime keeps the
+  /// shared_ptr so scrapes outliving the pool read its final values.
+  void set_executor_stats(std::shared_ptr<const ExecutorStatsBlock> stats);
+
   /// Node failure: dooms all active transactions and discards un-forced
   /// group-commit records; writes the crash dump if configured. Join
   /// your worker threads, then call recover().
@@ -224,14 +255,29 @@ class Runtime {
     return obj;
   }
 
+  template <AdtTraits A>
+  std::shared_ptr<OccAtomicObject<A>> create_occ_impl(const std::string& name,
+                                                      OccStorage storage) {
+    const ObjectId oid = allocate_object_id();
+    auto obj =
+        std::make_shared<OccAtomicObject<A>>(oid, name, tm_, recorder(),
+                                             storage);
+    objects_[oid] = obj;
+    system_.add_object(oid, std::make_shared<AdtSpec<A>>());
+    return obj;
+  }
+
   void register_collectors();
 
   RecorderMode mode_;
   SchedMode sched_mode_{SchedMode::kOs};
   WaitPolicy* wait_policy_{nullptr};
+  std::atomic<CCMode> cc_mode_{CCMode::kDynamic};
   TransactionManager tm_;
   mutable std::mutex fault_mu_;  // guards fault_injector_ (scrapes race sets)
   std::shared_ptr<FaultInjector> fault_injector_;
+  mutable std::mutex executor_mu_;  // guards executor_stats_ vs scrapes
+  std::shared_ptr<const ExecutorStatsBlock> executor_stats_;
   std::unique_ptr<FlightRecorder> flight_;   // kFlight mode
   std::unique_ptr<HistoryRecorder> legacy_;  // kLegacyMutex mode
   std::unique_ptr<MetricsRegistry> metrics_;

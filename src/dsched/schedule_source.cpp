@@ -26,6 +26,8 @@ std::string to_string(WaitPoint point) {
       return "log-sleep";
     case WaitPoint::kSentinelWindow:
       return "sentinel-window";
+    case WaitPoint::kExecutorQueue:
+      return "executor-queue";
   }
   return "unknown";
 }

@@ -58,6 +58,7 @@ enum class WaitPoint : int {
   kLogFollower,       // StableLog committer waiting for its batch's force
   kLogSleep,          // StableLog simulated force latency / retry backoff
   kSentinelWindow,    // AtomicitySentinel between drain windows
+  kExecutorQueue,     // TxnExecutor worker waiting for a task (or drain)
 };
 
 [[nodiscard]] std::string to_string(WaitPoint point);

@@ -16,12 +16,33 @@ std::string to_string(Protocol p) {
       return "comm-lock";
     case Protocol::kTimestamp:
       return "timestamp";
+    case Protocol::kOcc:
+      return "occ";
+    case Protocol::kMvcc:
+      return "mvcc";
   }
   return "?";
 }
 
+Protocol to_protocol(CCMode mode) {
+  switch (mode) {
+    case CCMode::kDynamic:
+      return Protocol::kDynamic;
+    case CCMode::kStatic:
+      return Protocol::kStatic;
+    case CCMode::kHybrid:
+      return Protocol::kHybrid;
+    case CCMode::kOcc:
+      return Protocol::kOcc;
+    case CCMode::kMvcc:
+      return Protocol::kMvcc;
+  }
+  throw UsageError("unknown cc mode");
+}
+
 bool supports_snapshot_reads(Protocol p) {
-  return p == Protocol::kHybrid || p == Protocol::kStatic;
+  return p == Protocol::kHybrid || p == Protocol::kStatic ||
+         p == Protocol::kMvcc;
 }
 
 }  // namespace argus

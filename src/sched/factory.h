@@ -20,9 +20,14 @@ enum class Protocol {
   kTwoPhase,        // baseline: strict 2PL, read/write locks
   kCommutativity,   // baseline: static commutativity locking
   kTimestamp,       // baseline: strict single-version timestamp ordering
+  kOcc,             // foil: validate-at-commit, first-committer-wins
+  kMvcc,            // foil: OCC updates + version log, snapshot reads
 };
 
 [[nodiscard]] std::string to_string(Protocol p);
+
+/// The protocol a CCMode drives objects under (the executor's dispatch).
+[[nodiscard]] Protocol to_protocol(CCMode mode);
 
 /// Creates an object of the given ADT under the given protocol, registers
 /// it (and its spec) with the runtime, and returns it.
@@ -52,8 +57,22 @@ std::shared_ptr<ManagedObject> make_object(Runtime& rt, Protocol protocol,
       rt.adopt(obj, std::make_shared<AdtSpec<A>>());
       return obj;
     }
+    case Protocol::kOcc:
+      return rt.create_occ<A>(name);
+    case Protocol::kMvcc:
+      return rt.create_mvcc<A>(name);
   }
   throw UsageError("unknown protocol");
+}
+
+/// Mode-parameterized construction for the TxnExecutor's CC-mode sweep:
+/// creates the object under to_protocol(mode) and stamps the runtime
+/// with the mode (gating the lock-only telemetry under OCC/MVCC).
+template <AdtTraits A>
+std::shared_ptr<ManagedObject> make_mode_object(Runtime& rt, CCMode mode,
+                                                const std::string& name) {
+  rt.set_cc_mode(mode);
+  return make_object<A>(rt, to_protocol(mode), name);
 }
 
 /// Does this protocol give read-only transactions a timestamp snapshot

@@ -18,7 +18,7 @@ namespace {
 std::optional<Protocol> protocol_from_string(const std::string& name) {
   for (Protocol p : {Protocol::kDynamic, Protocol::kStatic, Protocol::kHybrid,
                      Protocol::kTwoPhase, Protocol::kCommutativity,
-                     Protocol::kTimestamp}) {
+                     Protocol::kTimestamp, Protocol::kOcc, Protocol::kMvcc}) {
     if (to_string(p) == name) return p;
   }
   return std::nullopt;
@@ -265,7 +265,12 @@ FaultCaseResult run_fault_case(const FaultSweepCase& c) {
       probe(verdict.ok, "static atomic: " + verdict.explanation);
       break;
     }
-    case Protocol::kHybrid: {
+    case Protocol::kHybrid:
+    case Protocol::kOcc:
+    case Protocol::kMvcc: {
+      // OCC/MVCC updates serialize at their commit timestamp (serial
+      // validation at the pipeline turn), so their histories satisfy the
+      // same hybrid-atomicity property.
       const auto wf = check_well_formed_hybrid(h, read_only);
       probe(wf.ok(), "well-formed(hybrid): " + wf.summary());
       const auto verdict = check_hybrid_atomic(rt.system(), h);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/errors.h"
+#include "core/executor_stats.h"
 #include "obs/latency_stats.h"
 #include "txn/manager.h"
 
@@ -32,6 +33,9 @@ struct WorkloadResult {
   /// Commit-pipeline counters captured from the runtime at the end of the
   /// run: per-stage time, group-commit batch shape, watermark lag.
   CommitPipelineStats pipeline;
+  /// Executor-pool counters (queue pressure, retries, validation aborts)
+  /// captured from the driver's TxnExecutor before it shut down.
+  ExecutorStatsSnapshot executor;
 
   [[nodiscard]] double throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;

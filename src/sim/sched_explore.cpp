@@ -21,7 +21,7 @@ namespace {
 std::optional<Protocol> protocol_from_string(const std::string& name) {
   for (Protocol p : {Protocol::kDynamic, Protocol::kStatic, Protocol::kHybrid,
                      Protocol::kTwoPhase, Protocol::kCommutativity,
-                     Protocol::kTimestamp}) {
+                     Protocol::kTimestamp, Protocol::kOcc, Protocol::kMvcc}) {
     if (to_string(p) == name) return p;
   }
   return std::nullopt;
@@ -251,7 +251,12 @@ SchedCaseResult run_with_source(const SchedCase& c, ScheduleSource& source) {
       probe(verdict.ok, "static atomic: " + verdict.explanation);
       break;
     }
-    case Protocol::kHybrid: {
+    case Protocol::kHybrid:
+    case Protocol::kOcc:
+    case Protocol::kMvcc: {
+      // OCC/MVCC serialize updates at their commit timestamp (validation
+      // runs at the pipeline's turn), so their histories are certified
+      // against the same hybrid-atomicity property.
       const auto wf = check_well_formed_hybrid(h, {});
       probe(wf.ok(), "well-formed(hybrid): " + wf.summary());
       const auto verdict = check_hybrid_atomic(rt.system(), h);
@@ -538,6 +543,8 @@ std::vector<SchedCase> enumerate_sched_cases(
       {"bank", Protocol::kDynamic},
       {"bank", Protocol::kHybrid},
       {"bank", Protocol::kTwoPhase},
+      {"bank", Protocol::kOcc},
+      {"bank", Protocol::kMvcc},
       {"queue", Protocol::kDynamic},
   };
 

@@ -131,7 +131,7 @@ struct SchedExploreOptions {
 };
 
 /// The enumerated configurations (deterministic order). With the default
-/// options: 2 kinds x 4 families x 4 mixes x 16 seeds = 512 cases.
+/// options: 2 kinds x 6 families x 4 mixes x 16 seeds = 768 cases.
 [[nodiscard]] std::vector<SchedCase> enumerate_sched_cases(
     const SchedExploreOptions& options = {});
 

@@ -3,18 +3,14 @@
 #include <chrono>
 #include <mutex>
 #include <numeric>
-#include <thread>
+
+#include "sched/executor.h"
 
 namespace argus {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double micros_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - start)
-      .count();
-}
 
 }  // namespace
 
@@ -29,14 +25,41 @@ WorkloadResult WorkloadDriver::run(const std::vector<MixItem>& mix) {
   std::mutex result_mu;
   const auto t0 = Clock::now();
 
-  auto worker = [&](int thread_index) {
-    SplitMix64 rng(options_.seed * 0x9e3779b9ULL +
-                   static_cast<std::uint64_t>(thread_index));
-    WorkloadResult local;
+  ExecutorOptions eo;
+  eo.workers = options_.threads;
+  eo.max_retries = options_.max_retries;
+  eo.timestamp_skew_us = options_.timestamp_skew_us;
 
-    for (int i = 0; i < options_.transactions_per_thread; ++i) {
-      // Weighted pick.
-      std::int64_t roll = rng.range(0, total_weight - 1);
+  const auto on_complete = [&](const TxnExecutor::Outcome& out) {
+    const std::scoped_lock lock(result_mu);
+    auto& stats = result.by_label[out.label];
+    if (out.committed) {
+      ++result.committed;
+      ++stats.committed;
+      stats.latency.add(out.latency_us);
+    } else {
+      ++result.gave_up;
+    }
+    for (const auto& [reason, n] : out.aborts) {
+      result.aborted += n;
+      result.aborts_by_reason[reason] += n;
+      stats.aborted += n;
+      stats.aborts_by_reason[reason] += n;
+    }
+  };
+
+  {
+    TxnExecutor pool(rt_, eo, on_complete);
+
+    // The mix draw happens at submission, from one driver-owned rng: the
+    // task list is a pure function of (seed, mix), independent of worker
+    // scheduling. Each task then owns a seed-derived rng of its own.
+    SplitMix64 pick_rng(options_.seed * 0x9e3779b9ULL);
+    const std::uint64_t total = static_cast<std::uint64_t>(options_.threads) *
+                                static_cast<std::uint64_t>(
+                                    options_.transactions_per_thread);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      std::int64_t roll = pick_rng.range(0, total_weight - 1);
       const MixItem* item = &mix.front();
       for (const MixItem& candidate : mix) {
         roll -= candidate.weight;
@@ -45,62 +68,14 @@ WorkloadResult WorkloadDriver::run(const std::vector<MixItem>& mix) {
           break;
         }
       }
-
-      const auto begin_time = Clock::now();
-      bool done = false;
-      for (int attempt = 0; attempt <= options_.max_retries && !done;
-           ++attempt) {
-        auto txn = rt_.tm().begin(item->kind);
-        if (options_.timestamp_skew_us > 0) {
-          std::this_thread::sleep_for(std::chrono::microseconds(
-              rng.below(static_cast<std::uint64_t>(options_.timestamp_skew_us) +
-                        1)));
-        }
-        try {
-          item->body(*txn, rng);
-          rt_.tm().commit(txn);
-          done = true;
-          ++local.committed;
-          auto& stats = local.by_label[item->label];
-          ++stats.committed;
-          stats.latency.add(micros_since(begin_time));
-        } catch (const TransactionAborted& e) {
-          rt_.tm().abort(txn, e.reason());
-          ++local.aborted;
-          ++local.aborts_by_reason[e.reason()];
-          auto& stats = local.by_label[item->label];
-          ++stats.aborted;
-          ++stats.aborts_by_reason[e.reason()];
-        }
-      }
-      if (!done) ++local.gave_up;
+      pool.submit({item->label, item->kind, item->body,
+                   options_.seed * 0x9e3779b97f4a7c15ULL + i});
     }
+    pool.drain();
+    result.executor = pool.stats();
+  }  // pool shutdown + worker join
 
-    const std::scoped_lock lock(result_mu);
-    result.committed += local.committed;
-    result.aborted += local.aborted;
-    result.gave_up += local.gave_up;
-    for (const auto& [reason, n] : local.aborts_by_reason) {
-      result.aborts_by_reason[reason] += n;
-    }
-    for (auto& [label, stats] : local.by_label) {
-      auto& global = result.by_label[label];
-      global.committed += stats.committed;
-      global.aborted += stats.aborted;
-      for (const auto& [reason, n] : stats.aborts_by_reason) {
-        global.aborts_by_reason[reason] += n;
-      }
-      global.latency.merge(stats.latency);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(options_.threads));
-  for (int i = 0; i < options_.threads; ++i) threads.emplace_back(worker, i);
-  for (auto& t : threads) t.join();
-
-  result.seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count();
+  result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   result.deadlocks = rt_.tm().detector().deadlocks_resolved();
   result.pipeline = rt_.tm().pipeline_stats();
   return result;

@@ -1,7 +1,9 @@
-// WorkloadDriver: runs a weighted mix of transaction bodies from
-// concurrent worker threads against a Runtime, with retry-on-abort, and
-// aggregates metrics. All experiment binaries (bench/) and the
-// integration tests drive protocols through this.
+// WorkloadDriver: runs a weighted mix of transaction bodies against a
+// Runtime on a fixed TxnExecutor worker pool (pool size = threads), with
+// retry-on-abort, and aggregates metrics. All experiment binaries
+// (bench/) and the integration tests drive protocols through this. The
+// weighted mix is drawn at submission from the driver's seed, so the
+// task list is deterministic regardless of pool scheduling.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +30,7 @@ struct MixItem {
 };
 
 struct WorkloadOptions {
-  int threads{4};
+  int threads{4};  // executor pool size (the run's concurrency level)
   int transactions_per_thread{200};
   int max_retries{100};
   std::uint64_t seed{1};

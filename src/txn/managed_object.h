@@ -38,6 +38,23 @@ class ManagedObject {
   /// stages — no global lock is held.
   virtual void prepare(Transaction& txn) = 0;
 
+  /// True when committing `txn` here requires a final validation at the
+  /// pipeline's serialization point (OCC/MVCC validate-at-commit). When
+  /// any touched object answers true the manager takes the commit turn
+  /// *before* forcing the log record, so validate_serial runs with no
+  /// concurrent apply anywhere — commit order, validation order and
+  /// serialization order coincide.
+  [[nodiscard]] virtual bool needs_serial_validation(
+      const Transaction& txn) const {
+    (void)txn;
+    return false;
+  }
+
+  /// Called with txn's commit turn held (every earlier commit fully
+  /// applied, record not yet forced): the object's last chance to veto by
+  /// throwing TransactionAborted (first-committer-wins). Must not block.
+  virtual void validate_serial(Transaction& txn) { (void)txn; }
+
   /// Apply stage: make txn's effects permanent. `commit_ts` is the commit
   /// timestamp assigned by the manager (hybrid atomicity's timestamp
   /// event); plain protocols may ignore it. The manager calls applies in

@@ -132,6 +132,15 @@ void TransactionManager::commit_single_mutex(
     finish_abort(t, reason);
     throw TransactionAborted(t->id(), reason);
   }
+  // Serial validation (OCC/MVCC): commit_mu_ is the serialization point
+  // in this mode — no other commit is in flight, so validate-at-commit
+  // runs race-free here. Default objects no-op.
+  try {
+    for (ManagedObject* o : objects) o->validate_serial(*t);
+  } catch (const TransactionAborted& e) {
+    finish_abort(t, e.reason());
+    throw;
+  }
   const Timestamp ts = clock_.next();
   t->set_commit_ts(ts);
   log_.append(build_record(*t, objects, ts));  // write-ahead
@@ -168,6 +177,36 @@ void TransactionManager::commit_pipelined(
   }
   t->set_commit_ts(ts);
 
+  // Stage 2.5: serial validation (OCC/MVCC only). The parallel prepare()
+  // stage cannot soundly decide validate-at-commit — another committer's
+  // apply may still be in flight — so objects that need it get their
+  // final check at the pipeline's serialization point: take the commit
+  // turn *before* the log force (every earlier commit has fully applied,
+  // no later one can apply first) and let each touched object veto.
+  // A veto aborts before anything was forced, so the write-ahead
+  // invariant is untouched; the scope guard above retires the in-flight
+  // entry. Modes without serial validation keep the force-then-turn
+  // order below and its group-commit batching.
+  bool serial_validation = false;
+  for (ManagedObject* o : objects) {
+    if (o->needs_serial_validation(*t)) {
+      serial_validation = true;
+      break;
+    }
+  }
+  if (serial_validation) {
+    const auto serial_start = SteadyClock::now();
+    clock_.wait_for_turn(ts);
+    try {
+      for (ManagedObject* o : objects) o->validate_serial(*t);
+    } catch (const TransactionAborted& e) {
+      finish_abort(t, e.reason());
+      throw;
+    }
+    validate_us_.fetch_add(micros_between(serial_start, SteadyClock::now()),
+                           std::memory_order_relaxed);
+  }
+
   // Stage 3: group-commit log force. Write-ahead: the record is stable
   // before anything applies. Concurrent committers coalesce into one
   // force; a crash discards un-forced records and fails the append, and
@@ -197,7 +236,7 @@ void TransactionManager::commit_pipelined(
   // advances the visibility watermark, which publishes the commit to
   // read-only begins.
   const auto apply_start = SteadyClock::now();
-  clock_.wait_for_turn(ts);
+  if (!serial_validation) clock_.wait_for_turn(ts);  // else turn already held
   bool first_apply = true;
   for (ManagedObject* o : objects) {
     // Crash point: some of this transaction's objects applied, some not

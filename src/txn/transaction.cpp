@@ -40,4 +40,23 @@ std::vector<ManagedObject*> Transaction::touched() const {
   return touched_;
 }
 
+void Transaction::note_access(ObjectId object, bool write) {
+  (write ? writes_ : reads_).fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(mu_);
+  auto& set = write ? write_set_ : read_set_;
+  if (std::find(set.begin(), set.end(), object) == set.end()) {
+    set.push_back(object);
+  }
+}
+
+std::vector<ObjectId> Transaction::read_set() const {
+  const std::scoped_lock lock(mu_);
+  return read_set_;
+}
+
+std::vector<ObjectId> Transaction::write_set() const {
+  const std::scoped_lock lock(mu_);
+  return write_set_;
+}
+
 }  // namespace argus

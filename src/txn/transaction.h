@@ -87,6 +87,19 @@ class Transaction : public std::enable_shared_from_this<Transaction> {
   void touch(ManagedObject* o);
   [[nodiscard]] std::vector<ManagedObject*> touched() const;
 
+  /// Read/write-set capture (OCC/MVCC bookkeeping, validation metrics).
+  /// Objects report each operation as a read or a write of themselves;
+  /// the per-object sets are idempotent, the counters are per operation.
+  void note_access(ObjectId object, bool write);
+  [[nodiscard]] std::vector<ObjectId> read_set() const;
+  [[nodiscard]] std::vector<ObjectId> write_set() const;
+  [[nodiscard]] std::uint64_t reads() const {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
  private:
   const ActivityId id_;
   const TxnKind kind_;
@@ -96,9 +109,14 @@ class Transaction : public std::enable_shared_from_this<Transaction> {
   std::atomic<bool> doomed_{false};
   std::atomic<ManagedObject*> waiting_at_{nullptr};
 
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+
   mutable std::mutex mu_;
   AbortReason doom_reason_{AbortReason::kUser};  // guarded by mu_
   std::vector<ManagedObject*> touched_;          // guarded by mu_
+  std::vector<ObjectId> read_set_;               // guarded by mu_
+  std::vector<ObjectId> write_set_;              // guarded by mu_
 };
 
 }  // namespace argus

@@ -275,6 +275,62 @@ TEST(SchedExplore, RecordedScheduleReplaysByteForByte) {
   EXPECT_EQ(replayed.schedule, recorded.schedule);
 }
 
+TEST(SchedExplore, OccReplaysByteForByte) {
+  // The optimistic path under the cooperative scheduler: serial
+  // validation takes the commit turn before the log force, and the
+  // executor-queue handoff routes through the WaitPolicy — the whole run
+  // must still replay from its recorded schedule.
+  SchedCase c;
+  c.kind = ScheduleKind::kRandom;
+  c.seed = 44;
+  c.protocol = Protocol::kOcc;
+  const SchedCaseResult recorded = run_sched_case(c);
+  EXPECT_TRUE(recorded.ok) << recorded.failure;
+  ASSERT_FALSE(recorded.schedule.empty());
+
+  SchedCase replay = c;
+  replay.kind = ScheduleKind::kReplay;
+  replay.schedule = recorded.schedule;
+  const SchedCaseResult replayed = run_sched_case(replay);
+  EXPECT_TRUE(replayed.ok) << replayed.failure;
+  EXPECT_EQ(replayed.trace, recorded.trace);
+}
+
+TEST(SchedExplore, MvccReplaysByteForByte) {
+  SchedCase c;
+  c.kind = ScheduleKind::kRandom;
+  c.seed = 45;
+  c.protocol = Protocol::kMvcc;
+  const SchedCaseResult recorded = run_sched_case(c);
+  EXPECT_TRUE(recorded.ok) << recorded.failure;
+
+  SchedCase replay = c;
+  replay.kind = ScheduleKind::kReplay;
+  replay.schedule = recorded.schedule;
+  const SchedCaseResult replayed = run_sched_case(replay);
+  EXPECT_TRUE(replayed.ok) << replayed.failure;
+  EXPECT_EQ(replayed.trace, recorded.trace);
+}
+
+TEST(DfsExplore, OccExhaustsTheTwoTxnOneObjectCase) {
+  // Exhaustive DFS over the optimistic protocol: every non-pruned
+  // interleaving of two transactions on one account — including every
+  // placement of the validate-at-turn step — must certify hybrid atomic.
+  SchedCase base;
+  base.adt = "bank";
+  base.protocol = Protocol::kOcc;
+  base.objects = 1;
+  base.lanes = 2;
+  base.txns_per_lane = 1;
+  base.seed = 3;
+  const DfsExploreResult dfs = run_dfs_explore(base, /*max_runs=*/4096);
+  EXPECT_TRUE(dfs.exhausted)
+      << "the 2-txn/1-object tree must fit the run budget";
+  EXPECT_EQ(dfs.certified, dfs.runs)
+      << (dfs.failures.empty() ? "" : dfs.failures.front().failure);
+  EXPECT_TRUE(dfs.failures.empty());
+}
+
 TEST(SchedExplore, PctIsDeterministicToo) {
   SchedCase c;
   c.kind = ScheduleKind::kPct;

@@ -84,6 +84,46 @@ TEST(FaultSweep, EveryConfigurationCertifiesCleanAfterCrashRecover) {
   EXPECT_GT(summary.committed, 0u);
 }
 
+TEST(FaultSweep, OccAndMvccComeThroughTheSweepClean) {
+  // The optimistic modes against the same crash-point grid the
+  // data-dependent protocols face: versioned storage must recover from
+  // the timestamp-sorted stable log, and serial validation must never
+  // leave a half-admitted record behind a crash. Separate from the
+  // default sweep so its 200-case shape stays pinned.
+  FaultSweepOptions options;
+  options.protocols = {Protocol::kOcc, Protocol::kMvcc};
+  options.seeds_per_cell = 2;
+  const FaultSweepSummary summary = run_fault_sweep(options);
+  // 5 crash placements x 5 mixes x 2 protocols x 2 seeds.
+  EXPECT_EQ(summary.cases, 100u);
+  std::string report;
+  for (const auto& f : summary.failures) {
+    report += "---- failing config ----\n" + to_config_string(f.config) +
+              f.failure + "\n";
+  }
+  EXPECT_TRUE(summary.all_ok()) << report;
+  EXPECT_GT(summary.crashed_mid_run, 0u);
+  EXPECT_GT(summary.committed, 0u);
+}
+
+TEST(FaultSweep, OccReplayIsByteForByteToo) {
+  FaultSweepCase c;
+  c.protocol = Protocol::kOcc;
+  c.plan.seed = 7654321;
+  c.plan.force_fail_permille = 120;
+  c.plan.force_max_retries = 2;
+  c.plan.force_retry_backoff_us = 10;
+  c.plan.torn_batch_permille = 150;
+  c.plan.crash_point = FaultSite::kMidApply;
+  c.plan.crash_at_arrival = 1;
+
+  const FaultCaseResult first = run_fault_case(c);
+  const FaultCaseResult second = run_fault_case(c);
+  EXPECT_TRUE(first.ok) << first.failure;
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.committed, second.committed);
+}
+
 TEST(FaultSweep, ReplayingASeedReproducesTheTraceByteForByte) {
   // The chaos mix with a mid-apply pinned crash — the nastiest cell.
   FaultSweepCase c;

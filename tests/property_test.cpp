@@ -135,7 +135,12 @@ void check_protocol_property(Protocol protocol, const std::string& adt,
       EXPECT_TRUE(verdict.ok) << verdict.explanation << "\n" << h.to_string();
       break;
     }
-    case Protocol::kHybrid: {
+    case Protocol::kHybrid:
+    case Protocol::kOcc:
+    case Protocol::kMvcc: {
+      // OCC/MVCC updates serialize at commit timestamps (validation runs
+      // at the pipeline turn) and MVCC reads at initiation snapshots —
+      // exactly the hybrid atomicity property.
       const auto wf = check_well_formed_hybrid(h, run.read_only);
       ASSERT_TRUE(wf.ok()) << wf.summary() << "\n" << h.to_string();
       const auto verdict = check_hybrid_atomic(run.system, h);
@@ -169,7 +174,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          Protocol::kHybrid,
                                          Protocol::kTwoPhase,
                                          Protocol::kCommutativity,
-                                         Protocol::kTimestamp),
+                                         Protocol::kTimestamp, Protocol::kOcc,
+                                         Protocol::kMvcc),
                        ::testing::Range<std::uint64_t>(1, 9)),
     [](const auto& info) {
       std::string name = to_string(std::get<0>(info.param)) + "_seed" +
@@ -204,7 +210,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          Protocol::kHybrid,
                                          Protocol::kTwoPhase,
                                          Protocol::kCommutativity,
-                                         Protocol::kTimestamp),
+                                         Protocol::kTimestamp, Protocol::kOcc,
+                                         Protocol::kMvcc),
                        ::testing::Range<std::uint64_t>(1, 5)),
     [](const auto& info) {
       std::string name = to_string(std::get<0>(info.param)) + "_seed" +
