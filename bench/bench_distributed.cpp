@@ -1,100 +1,187 @@
-// E10 — the distributed setting (§1: "Maintaining the consistency of
+// E16 — multi-site scaling (§1: "Maintaining the consistency of
 // long-lived, on-line data is a difficult task, particularly in a
 // distributed system").
 //
-// The same transfer+audit workload as E4, but every account is remote
-// (simulated RPC latency around each operation). The claim under test:
-// protocols that hold synchronization state *across* operations pay the
-// network latency multiplicatively — a dynamic-atomicity audit holds its
-// locks over 2·N one-way delays while scanning N accounts, stalling every
-// conflicting transfer — whereas hybrid read-only activities hold
-// nothing, so their latency is paid only by themselves. Expected shape:
-// the dynamic-vs-hybrid throughput gap *widens* as RPC latency grows.
+// The claim under test: sharding over full per-site runtimes scales.
+// Each site is a complete runtime — its own commit pipeline, stable log
+// and clock domain — so shard-local transactions commit through the
+// ordinary one-phase pipeline with no coordinator lock and no shared
+// state between sites. With a fixed per-commit log-force latency (the
+// leader-latency fault hook, fired on every force), per-site pipelines
+// force in parallel: throughput must grow monotonically from 1 to 4
+// sites. A cross-site 2PC variant measures what the coordinated path
+// costs by comparison.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "bench_common.h"
-#include "dist/remote_object.h"
-#include "sim/workload.h"
+#include "common/rng.h"
+#include "dist/dist_runtime.h"
 #include "sched/factory.h"
 #include "spec/adts/bank_account.h"
 
 namespace argus {
 namespace {
 
-constexpr int kAccounts = 8;
+constexpr int kAccountsPerSite = 4;
+constexpr int kTxnsPerThread = 200;
+constexpr std::int64_t kSeedBalance = 1000;
 
-void run_distributed(benchmark::State& state, Protocol protocol) {
-  const int rpc_us = static_cast<int>(state.range(0));
+std::unique_ptr<DistRuntime> build(std::size_t sites) {
+  DistOptions options;
+  options.sites = sites;
+  options.protocol = Protocol::kHybrid;
+  options.recorder = Runtime::RecorderMode::kOff;
+  auto dist = std::make_unique<DistRuntime>(options);
+  // Round-robin placement: account j lands on site j % sites, so the
+  // accounts of site s are {a_j : j ≡ s (mod sites)}.
+  const std::size_t accounts = sites * kAccountsPerSite;
+  for (std::size_t j = 0; j < accounts; ++j) {
+    dist->create_sharded<BankAccountAdt>("a" + std::to_string(j));
+  }
+  for (std::size_t i = 0; i < sites; ++i) {
+    dist->site(i).runtime().set_wait_timeout_all(
+        std::chrono::milliseconds(2000));
+  }
+  // Seed every account; one transaction per site keeps setup one-phase.
+  for (std::size_t s = 0; s < sites; ++s) {
+    const auto t = dist->begin();
+    for (std::size_t j = s; j < accounts; j += sites) {
+      dist->write(*t, "a" + std::to_string(j), account::deposit(kSeedBalance));
+    }
+    dist->commit(t);
+  }
+  // Every stable-log force pays a fixed latency — the "disk". This is
+  // what makes scaling observable on any host: per-site pipelines sleep
+  // in parallel, a single site's pipeline sleeps serially.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.leader_latency_permille = 1000;
+  plan.leader_latency_us = 50;
+  dist->set_fault_plan(plan);
+  return dist;
+}
+
+std::int64_t total_balance(DistRuntime& dist) {
+  std::int64_t total = 0;
+  for (const auto& entry : dist.dump(account::balance())) {
+    total += entry.value.as_int();
+  }
+  return total;
+}
+
+// Shard-local transfers, one driver thread per site over that site's own
+// accounts: every commit is one-phase, sites share nothing.
+void BM_DistScaling_ShardLocal(benchmark::State& state) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    Runtime rt(/*record_history=*/false);
-    std::vector<std::shared_ptr<ManagedObject>> accounts;
-    for (int i = 0; i < kAccounts; ++i) {
-      auto inner = make_object<BankAccountAdt>(rt, protocol,
-                                               "a" + std::to_string(i));
-      NetworkProfile profile;
-      profile.min_delay = std::chrono::microseconds(rpc_us / 2);
-      profile.max_delay = std::chrono::microseconds(rpc_us);
-      profile.seed = static_cast<std::uint64_t>(i) + 1;
-      accounts.push_back(std::make_shared<RemoteObject>(inner, profile));
+    const auto dist = build(sites);
+    const std::size_t accounts = sites * kAccountsPerSite;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(sites);
+    for (std::size_t s = 0; s < sites; ++s) {
+      threads.emplace_back([&, s] {
+        SplitMix64 rng(1000 + s);
+        for (int i = 0; i < kTxnsPerThread; ++i) {
+          // Pick two distinct accounts of site s.
+          const std::size_t span = accounts / sites;
+          const std::size_t from = s + sites * rng.below(span);
+          std::size_t to = s + sites * rng.below(span);
+          if (to == from) to = s + sites * ((from / sites + 1) % span);
+          const auto t = dist->begin();
+          const Value got =
+              dist->read(*t, "a" + std::to_string(from), account::withdraw(5));
+          if (got.is_unit()) {
+            dist->write(*t, "a" + std::to_string(to), account::deposit(5));
+          }
+          dist->commit(t);
+        }
+      });
     }
-    rt.set_wait_timeout_all(std::chrono::milliseconds(500));
-    {
-      auto setup = rt.begin();
-      for (auto& a : accounts) a->invoke(*setup, account::deposit(1000));
-      rt.commit(setup);
+    for (auto& th : threads) th.join();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    if (total_balance(*dist) !=
+        static_cast<std::int64_t>(accounts) * kSeedBalance) {
+      throw std::runtime_error("conservation violated in E16 shard-local run");
     }
-
-    MixItem transfer{"transfer", TxnKind::kUpdate, 10,
-                     [accounts](Transaction& txn, SplitMix64& rng) {
-                       const std::size_t from = rng.below(accounts.size());
-                       std::size_t to = rng.below(accounts.size());
-                       if (to == from) to = (to + 1) % accounts.size();
-                       const Value got =
-                           accounts[from]->invoke(txn, account::withdraw(5));
-                       if (got.is_unit()) {
-                         accounts[to]->invoke(txn, account::deposit(5));
-                       }
-                     }};
-    MixItem audit{"audit",
-                  supports_snapshot_reads(protocol) ? TxnKind::kReadOnly
-                                                    : TxnKind::kUpdate,
-                  2,
-                  [accounts](Transaction& txn, SplitMix64&) {
-                    std::int64_t total = 0;
-                    for (const auto& a : accounts) {
-                      total += a->invoke(txn, account::balance()).as_int();
-                    }
-                    (void)total;
-                  }};
-
-    WorkloadOptions options;
-    options.threads = 6;
-    options.transactions_per_thread = 40;
-    options.seed = 31;
-    WorkloadDriver driver(rt, options);
-    const auto result = driver.run({transfer, audit});
-    const std::string key = "distributed/" + to_string(protocol) + "/rpc" +
-                            std::to_string(rpc_us);
-    bench::report(state, result, key);
-    bench::report_label(state, result, "transfer", key);
-    bench::report_label(state, result, "audit", key);
+    const DistStats stats = dist->stats();
+    const double committed =
+        static_cast<double>(stats.one_phase_commits + stats.two_pc_commits);
+    std::map<std::string, double> counters;
+    counters["txn_per_s"] =
+        static_cast<double>(sites * kTxnsPerThread) / elapsed.count();
+    counters["committed"] = committed;
+    counters["two_pc_commits"] = static_cast<double>(stats.two_pc_commits);
+    counters["aborted"] = static_cast<double>(stats.aborts);
+    for (const auto& [k, v] : counters) state.counters[k] = v;
+    bench::JsonSink::instance().update(
+        "dist_scaling/shard_local/sites" + std::to_string(sites), counters);
   }
 }
 
-void BM_Distributed_Dynamic(benchmark::State& state) {
-  run_distributed(state, Protocol::kDynamic);
-}
-void BM_Distributed_Static(benchmark::State& state) {
-  run_distributed(state, Protocol::kStatic);
-}
-void BM_Distributed_Hybrid(benchmark::State& state) {
-  run_distributed(state, Protocol::kHybrid);
+// The coordinated path for contrast: every transfer crosses two sites,
+// so every commit is a full 2PC (prepare at both, decision, delivery)
+// under the coordinator lock.
+void BM_DistScaling_CrossSite2PC(benchmark::State& state) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto dist = build(sites);
+    const std::size_t accounts = sites * kAccountsPerSite;
+    const auto start = std::chrono::steady_clock::now();
+    SplitMix64 rng(17);
+    for (int i = 0; i < kTxnsPerThread; ++i) {
+      const std::size_t from = rng.below(accounts);
+      std::size_t to = rng.below(accounts);
+      // Force a second participant site.
+      if (to % sites == from % sites) to = (to + 1) % accounts;
+      const auto t = dist->begin();
+      const Value got =
+          dist->read(*t, "a" + std::to_string(from), account::withdraw(5));
+      if (got.is_unit()) {
+        dist->write(*t, "a" + std::to_string(to), account::deposit(5));
+      }
+      dist->commit(t);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    if (total_balance(*dist) !=
+        static_cast<std::int64_t>(accounts) * kSeedBalance) {
+      throw std::runtime_error("conservation violated in E16 2PC run");
+    }
+    const DistStats stats = dist->stats();
+    std::map<std::string, double> counters;
+    counters["txn_per_s"] =
+        static_cast<double>(kTxnsPerThread) / elapsed.count();
+    counters["committed"] = static_cast<double>(stats.one_phase_commits +
+                                                stats.two_pc_commits);
+    counters["two_pc_commits"] = static_cast<double>(stats.two_pc_commits);
+    counters["aborted"] = static_cast<double>(stats.aborts);
+    for (const auto& [k, v] : counters) state.counters[k] = v;
+    bench::JsonSink::instance().update(
+        "dist_scaling/cross_site_2pc/sites" + std::to_string(sites), counters);
+  }
 }
 
-// Arg: RPC one-way latency upper bound in microseconds.
-BENCHMARK(BM_Distributed_Dynamic)->Arg(0)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_Distributed_Static)->Arg(0)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_Distributed_Hybrid)->Arg(0)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_DistScaling_ShardLocal)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_DistScaling_CrossSite2PC)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace argus

@@ -1,135 +1,149 @@
-// Capstone example: a small "distributed" bank branch network.
+// Capstone example: a small distributed bank over the multi-site
+// runtime (dist/dist_runtime.h).
 //
-// Three branches hold escrow accounts behind simulated RPC links; a
-// hybrid-atomic bag distributes work items to teller threads
-// (nondeterministic remove: tellers never contend); audits run as
-// read-only transactions. Demonstrates, in one program:
-//   * typed handles + TransactionScope (core/handles.h),
-//   * the type-specific EscrowAccount and HybridBag,
-//   * RemoteObject latency and a transient partition,
-//   * crash + recovery mid-workload,
-//   * the conservation invariant surviving all of the above.
+// Three sites — each a full runtime with its own commit pipeline and
+// stable log — hold six sharded branch accounts (round-robin placement)
+// plus one fully replicated reserve account. Demonstrates, in one
+// program:
+//   * cross-site transfers committing through two-phase commit,
+//   * available-copies reads and write-all-available writes,
+//   * a site failure mid-workload: in-flight transactions at the dead
+//     site abort (the failure rule), the survivors keep serving the
+//     replicated reserve,
+//   * recovery with catch-up (the reserve writes the site missed are
+//     re-applied) and the stale-read rule (the recovered copy serves
+//     reads again only after a fresh committed write),
+//   * a read-only audit spanning every site at one snapshot,
+//   * the conservation invariant, plus formal certification of the
+//     merged cross-site history.
 //
 // Build & run:  ./build/examples/distributed_bank
-#include <atomic>
 #include <iostream>
-#include <thread>
+#include <string>
 #include <vector>
 
-#include "core/escrow_account.h"
-#include "core/handles.h"
-#include "dist/remote_object.h"
+#include "check/atomicity.h"
+#include "dist/dist_runtime.h"
+#include "hist/wellformed.h"
+#include "spec/adts/bank_account.h"
 
 int main() {
   using namespace argus;
 
-  constexpr int kBranches = 3;
+  constexpr std::size_t kSites = 3;
+  constexpr int kBranches = 6;
   constexpr std::int64_t kInitial = 1000;
-  constexpr int kTasks = 120;
 
-  Runtime rt(/*record_history=*/false);
+  DistOptions options;
+  options.sites = kSites;
+  options.protocol = Protocol::kHybrid;
+  DistRuntime dist(options);
 
-  // Escrow accounts, one per branch, each behind a simulated RPC link.
-  std::vector<std::shared_ptr<RemoteObject>> branches;
+  // Branch accounts shard round-robin (branch i lands on site i % 3);
+  // the reserve is replicated at every site.
+  std::vector<std::string> branches;
   for (int i = 0; i < kBranches; ++i) {
-    auto inner = std::make_shared<EscrowAccount>(
-        rt.allocate_object_id(), "branch" + std::to_string(i), rt.tm(),
-        rt.recorder());
-    rt.adopt(inner, std::make_shared<AdtSpec<BankAccountAdt>>());
-    NetworkProfile profile;
-    profile.min_delay = std::chrono::microseconds(20);
-    profile.max_delay = std::chrono::microseconds(80);
-    profile.seed = static_cast<std::uint64_t>(i) + 1;
-    branches.push_back(std::make_shared<RemoteObject>(inner, profile));
+    branches.push_back("branch" + std::to_string(i));
+    dist.create_sharded<BankAccountAdt>(branches.back());
   }
-  AtomicBag tasks(rt.create_hybrid_bag("tasks"));
-  rt.set_wait_timeout_all(std::chrono::milliseconds(500));
+  dist.create_replicated<BankAccountAdt>("reserve");
 
   {
-    TransactionScope setup(rt);
-    for (auto& b : branches) b->invoke(setup.txn(), account::deposit(kInitial));
-    for (int i = 0; i < kTasks; ++i) tasks.insert(setup, i);
-    setup.commit();
+    const auto setup = dist.begin();
+    for (const auto& b : branches) {
+      dist.write(*setup, b, account::deposit(kInitial));
+    }
+    dist.write(*setup, "reserve", account::deposit(kInitial));
+    dist.commit(setup);  // touches all three sites: a 2PC
   }
 
-  // Tellers: claim a task from the bag and perform a transfer between two
-  // branches, atomically with the claim — an aborted transfer returns the
-  // task to the bag.
-  std::atomic<int> done{0};
-  std::atomic<int> retries{0};
-  auto teller = [&](int index) {
-    SplitMix64 rng(1000 + static_cast<std::uint64_t>(index));
-    while (true) {
-      const int claimed = done.fetch_add(1);
-      if (claimed >= kTasks) return;
-      while (true) {
-        try {
-          TransactionScope tx(rt);
-          const std::int64_t task = tasks.remove_any(tx);
-          const auto from = static_cast<std::size_t>(task) % branches.size();
-          const auto to = (from + 1) % branches.size();
-          const Value got =
-              branches[from]->invoke(tx.txn(), account::withdraw(10));
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-          if (got.is_unit()) {
-            branches[to]->invoke(tx.txn(), account::deposit(10));
-          }
-          tx.commit();
-          break;
-        } catch (const TransactionAborted&) {
-          ++retries;  // partition / crash / timeout: task went back
-          std::this_thread::sleep_for(std::chrono::microseconds(200));
-        }
-      }
-    }
-  };
-  std::vector<std::thread> tellers;
-  for (int i = 0; i < 4; ++i) tellers.emplace_back(teller, i);
-
-  // Meanwhile: a transient partition of branch 2, then a full crash.
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  branches[2]->set_partitioned(true);
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  branches[2]->set_partitioned(false);
-
-  std::this_thread::sleep_for(std::chrono::milliseconds(15));
-  rt.crash();  // tellers' in-flight transactions are doomed and retried...
-  for (auto& t : tellers) t.join();  // ...but the crash ends the run:
-  rt.recover();
-
-  // After recovery, finish the remaining tasks single-threaded.
-  int drained = 0;
-  while (true) {
-    try {
-      TransactionScope tx(rt);
-      const std::int64_t task = tasks.remove_any(tx);
-      const auto from = static_cast<std::size_t>(task) % branches.size();
-      const auto to = (from + 1) % branches.size();
-      const Value got = branches[from]->invoke(tx.txn(), account::withdraw(10));
+  // Cross-site transfers: branch i -> branch i+1 sit at different sites,
+  // so every one of these commits runs the full two-phase protocol.
+  int committed = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < kBranches; ++i) {
+      const auto t = dist.begin();
+      const Value got =
+          dist.write(*t, branches[i], account::withdraw(25));
       if (got.is_unit()) {
-        branches[to]->invoke(tx.txn(), account::deposit(10));
+        dist.write(*t, branches[(i + 1) % kBranches], account::deposit(25));
       }
-      tx.commit();
-      ++drained;
-    } catch (const TransactionAborted& e) {
-      if (e.reason() == AbortReason::kWaitTimeout) break;  // bag is empty
+      dist.commit(t);
+      ++committed;
     }
   }
 
-  // The invariant: money conserved through latency, a partition, a crash,
-  // recovery, and retries.
-  std::int64_t total = 0;
+  // Site 2 fails mid-transaction: the in-flight transfer that already
+  // ran there cannot commit (the failure rule) and aborts globally.
+  int aborted = 0;
   {
-    TransactionScope check(rt);
-    for (auto& b : branches) {
-      total += b->invoke(check.txn(), account::balance()).as_int();
+    const auto t = dist.begin();
+    dist.write(*t, branches[2], account::withdraw(25));  // lives at site 2
+    dist.fail(2);
+    try {
+      dist.write(*t, branches[3], account::deposit(25));
+      dist.commit(t);
+    } catch (const TransactionAborted&) {
+      ++aborted;  // no partial effect anywhere
     }
-    check.commit();
   }
-  std::cout << "tasks completed by tellers + drained after recovery: "
-            << (kTasks - drained) << " + " << drained << "\n"
-            << "teller retries (partition/crash): " << retries.load() << "\n"
-            << "total balance: " << total << " (expected "
-            << kBranches * kInitial << ")\n";
-  return total == kBranches * kInitial ? 0 : 1;
+
+  // The survivors keep the replicated reserve available — the write goes
+  // to the two live copies and is registered in the placement catalog.
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "reserve", account::deposit(500));
+    dist.commit(t);
+  }
+
+  // Recovery: the stable log replays, catch-up re-applies the reserve
+  // deposit site 2 missed, and the stale-read rule keeps the recovered
+  // copy unreadable until a fresh write commits to it.
+  dist.recover(2);
+  const Replica* copy2 = dist.placement().find("reserve")->replica_at(2);
+  const bool stale_held = copy2 != nullptr && !copy2->readable.load();
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "reserve", account::deposit(1));
+    dist.commit(t);
+  }
+  const bool readable_again = copy2 != nullptr && copy2->readable.load();
+
+  // A read-only audit across all three sites at one snapshot.
+  std::int64_t audited = 0;
+  {
+    const auto audit = dist.begin(TxnKind::kReadOnly);
+    for (const auto& b : branches) {
+      audited += dist.read(*audit, b, account::balance()).as_int();
+    }
+    audited += dist.read(*audit, "reserve", account::balance()).as_int();
+    dist.commit(audit);
+  }
+  const std::int64_t expected =
+      kBranches * kInitial + kInitial + 500 + 1;
+
+  // Certify the merged cross-site history formally.
+  const History merged = dist.merged_history();
+  const auto wf = check_well_formed_hybrid(merged, dist.read_only_activities());
+  const auto atomic = check_hybrid_atomic(dist.merged_system(), merged);
+
+  const DistStats stats = dist.stats();
+  std::cout << "transfers committed: " << committed << " ("
+            << stats.two_pc_commits << " two-phase)\n"
+            << "failure-rule aborts: " << aborted << "\n"
+            << "catch-up transactions at recovery: " << stats.catchup_txns
+            << "\n"
+            << "stale-read rule held: " << (stale_held ? "yes" : "NO")
+            << ", readable after fresh write: "
+            << (readable_again ? "yes" : "NO") << "\n"
+            << "audit total: " << audited << " (expected " << expected
+            << ")\n"
+            << "merged history: " << merged.events().size() << " events, "
+            << (wf.ok() ? "well-formed" : wf.summary()) << ", "
+            << (atomic.ok ? "hybrid atomic" : atomic.explanation) << "\n";
+
+  const bool ok = audited == expected && aborted == 1 && stale_held &&
+                  readable_again && stats.catchup_txns >= 1 && wf.ok() &&
+                  atomic.ok;
+  return ok ? 0 : 1;
 }

@@ -18,6 +18,8 @@ std::string to_string(AbortReason r) {
       return "crash";
     case AbortReason::kIoError:
       return "io-error";
+    case AbortReason::kUnavailable:
+      return "unavailable";
     case AbortReason::kSystem:
       return "system";
   }

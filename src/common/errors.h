@@ -28,6 +28,8 @@ enum class AbortReason {
                        // earlier committer (first-committer-wins)
   kCrash,              // runtime crash discarded the active transaction
   kIoError,            // stable-log force failed after exhausting retries
+  kUnavailable,        // multi-site: no live replica to read, or a
+                       // participant site failed before the 2PC decision
   kSystem,             // internal shutdown
 };
 

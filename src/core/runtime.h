@@ -211,6 +211,12 @@ class Runtime {
     return ObjectId{next_object_id_++};
   }
 
+  /// Starts object-id allocation at `base` (multi-site deployments give
+  /// each Site's runtime a disjoint id range, so the merged cross-site
+  /// SystemSpec and history never alias two sites' objects). Call before
+  /// creating any object.
+  void set_object_id_base(std::uint64_t base) { next_object_id_ = base; }
+
   [[nodiscard]] std::shared_ptr<ManagedObject> object(ObjectId id) const;
   [[nodiscard]] std::vector<std::shared_ptr<ManagedObject>> objects() const;
 

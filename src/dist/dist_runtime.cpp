@@ -1,0 +1,866 @@
+#include "dist/dist_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/errors.h"
+
+namespace argus {
+
+namespace {
+
+/// FNV-1a over the transaction id and variable name: the deterministic
+/// replica pick for reads with no site affinity yet. Purely a routing
+/// choice — any live readable replica is correct — but it must be a pure
+/// function of the transaction so sweep runs replay byte-for-byte.
+std::uint64_t replica_hash(ActivityId gid, const std::string& var) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(gid.value);
+  for (const char c : var) mix(static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::size_t> DistTxn::participants() const {
+  std::vector<std::size_t> out;
+  out.reserve(parts_.size());
+  for (const auto& [site, part] : parts_) out.push_back(site);
+  return out;
+}
+
+DistRuntime::DistRuntime(DistOptions options) : options_(options) {
+  if (options_.sites == 0) {
+    throw UsageError("DistRuntime needs at least one site");
+  }
+  if (options_.protocol != Protocol::kDynamic &&
+      options_.protocol != Protocol::kHybrid) {
+    throw UsageError(
+        "DistRuntime supports the dynamic and hybrid local atomicity "
+        "properties (validate-at-commit protocols cannot hold a 2PC "
+        "decision open)");
+  }
+  sites_.reserve(options_.sites);
+  for (std::size_t i = 0; i < options_.sites; ++i) {
+    sites_.push_back(std::make_unique<Site>(
+        i, options_.sites, options_.recorder, options_.object_id_stride));
+  }
+}
+
+DistRuntime::~DistRuntime() = default;
+
+void DistRuntime::index_replicas(LogicalVar& var) {
+  for (const auto& r : var.replicas) {
+    replica_by_oid_.emplace(r->object->id(), std::make_pair(&var, r.get()));
+  }
+}
+
+// --- transactions ------------------------------------------------------
+
+std::shared_ptr<DistTxn> DistRuntime::begin(TxnKind kind) {
+  if (kind == TxnKind::kReadOnly &&
+      !supports_snapshot_reads(options_.protocol)) {
+    // Dynamic atomicity has no snapshot timestamp; audits run as update
+    // transactions there, exactly as in the single-site sweeps.
+    throw UsageError(
+        "read-only distributed transactions require snapshot reads "
+        "(hybrid protocol)");
+  }
+  auto t = std::make_shared<DistTxn>();
+  t->gid_ = next_gid();
+  t->kind_ = kind;
+  t->stamp_ = global_stamp_.load(std::memory_order_acquire);
+  begun_.fetch_add(1, std::memory_order_relaxed);
+  if (kind == TxnKind::kReadOnly) {
+    const std::scoped_lock lock(ro_mu_);
+    read_only_gids_.insert(t->gid_);
+  }
+  return t;
+}
+
+void DistRuntime::observe_into(DistTxn& t, Site& s) {
+  s.tm().clock().observe(t.stamp_);
+}
+
+void DistRuntime::absorb_from(DistTxn& t, Site& s) {
+  t.stamp_ = std::max(t.stamp_, s.tm().clock().now());
+}
+
+DistTxn::Part& DistRuntime::ensure_part(DistTxn& t, Site& s) {
+  const auto it = t.parts_.find(s.index());
+  if (it != t.parts_.end()) return it->second;
+  // Lamport carry: the site's clock absorbs everything this transaction
+  // has seen before the participant begins, so cross-site causality is
+  // reflected in every timestamp the participant draws.
+  observe_into(t, s);
+  std::shared_ptr<Transaction> txn;
+  if (t.kind_ == TxnKind::kReadOnly) {
+    if (t.snapshot_ts_ == kNoTimestamp) {
+      // First participant fixes the global snapshot: a fresh timestamp,
+      // watermark-covered locally.
+      txn = s.tm().begin_as(t.gid_, TxnKind::kReadOnly);
+      t.snapshot_ts_ = txn->start_ts();
+    } else {
+      // Later participants adopt it (begin_as waits until this site's
+      // watermark covers it, preserving §4.3.3's snapshot invariant at
+      // every site the activity visits).
+      txn = s.tm().begin_as(t.gid_, TxnKind::kReadOnly, t.snapshot_ts_);
+    }
+  } else {
+    txn = s.tm().begin_as(t.gid_, TxnKind::kUpdate);
+  }
+  absorb_from(t, s);
+  const auto [ins, inserted] =
+      t.parts_.emplace(s.index(), DistTxn::Part{std::move(txn)});
+  return ins->second;
+}
+
+Value DistRuntime::read(DistTxn& t, const std::string& var,
+                        const Operation& op) {
+  if (t.finished_) {
+    throw UsageError("read on finished distributed transaction " +
+                     to_string(t.gid_));
+  }
+  LogicalVar* v = placement_.find(var);
+  if (v == nullptr) throw UsageError("unknown logical variable '" + var + "'");
+
+  // Available copies: any live replica whose readable flag is set.
+  std::vector<Replica*> candidates;
+  for (const auto& r : v->replicas) {
+    if (r->site->up() && r->readable.load(std::memory_order_acquire)) {
+      candidates.push_back(r.get());
+    }
+  }
+  if (candidates.empty()) abort_unavailable(t);
+
+  // Routing preference: a replica this transaction already wrote (so its
+  // own intentions are visible), then a site it already runs on, then a
+  // deterministic hash pick.
+  Replica* pick = nullptr;
+  if (const auto wt = t.write_targets_.find(v); wt != t.write_targets_.end()) {
+    for (Replica* r : candidates) {
+      if (wt->second.contains(r->site->index())) {
+        pick = r;
+        break;
+      }
+    }
+  }
+  if (pick == nullptr) {
+    for (Replica* r : candidates) {
+      if (t.parts_.contains(r->site->index())) {
+        pick = r;
+        break;
+      }
+    }
+  }
+  if (pick == nullptr) {
+    pick = candidates[replica_hash(t.gid_, var) % candidates.size()];
+  }
+
+  Site& s = *pick->site;
+  DistTxn::Part& part = ensure_part(t, s);
+  observe_into(t, s);
+  const Value result = pick->object->invoke(*part.txn, op);
+  absorb_from(t, s);
+  return result;
+}
+
+Value DistRuntime::write(DistTxn& t, const std::string& var,
+                         const Operation& op) {
+  if (t.finished_) {
+    throw UsageError("write on finished distributed transaction " +
+                     to_string(t.gid_));
+  }
+  if (t.kind_ == TxnKind::kReadOnly) {
+    throw UsageError("read-only distributed transaction invoked a write");
+  }
+  LogicalVar* v = placement_.find(var);
+  if (v == nullptr) throw UsageError("unknown logical variable '" + var + "'");
+
+  // Write all available copies. The target set is pinned at the first
+  // write to this variable: a site that recovers mid-transaction must not
+  // receive only a suffix of the variable's operations. If a pinned
+  // target has since failed, its participant is doomed and the invoke
+  // below unwinds the transaction — the failure rule.
+  std::vector<Replica*> targets;
+  if (const auto wt = t.write_targets_.find(v); wt != t.write_targets_.end()) {
+    for (const std::size_t idx : wt->second) {
+      if (Replica* r = v->replica_at(idx)) targets.push_back(r);
+    }
+  } else {
+    for (const auto& r : v->replicas) {
+      if (r->site->up()) targets.push_back(r.get());
+    }
+    if (targets.empty()) abort_unavailable(t);
+    auto& pinned = t.write_targets_[v];
+    for (Replica* r : targets) pinned.insert(r->site->index());
+  }
+
+  std::optional<Value> first;
+  for (Replica* r : targets) {
+    Site& s = *r->site;
+    DistTxn::Part& part = ensure_part(t, s);
+    observe_into(t, s);
+    const Value result = r->object->invoke(*part.txn, op);
+    absorb_from(t, s);
+    if (!first.has_value()) {
+      first = result;
+    } else if (!(*first == result)) {
+      replica_divergence_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (v->replicated) {
+    t.replicated_writes_.emplace_back(v, LoggedOp{op, *first});
+  }
+  return *first;
+}
+
+void DistRuntime::abort(const std::shared_ptr<DistTxn>& t) {
+  if (t->finished_) return;
+  abort_parts(*t, AbortReason::kUser);
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DistRuntime::abort_parts(DistTxn& t, AbortReason reason) {
+  t.finished_ = true;
+  for (auto& [idx, part] : t.parts_) {
+    Site& s = *sites_[idx];
+    // Same Lamport carry as the commit paths: the abort event at each
+    // site must sequence after every invoke the activity made anywhere,
+    // or the merged history shows an operation after the abort.
+    if (s.up()) observe_into(t, s);
+    if (part.prepared) {
+      const bool healthy =
+          s.up() && part.txn->active() && !part.txn->doomed();
+      if (healthy) {
+        s.tm().abort_prepared(part.txn, reason);
+      } else {
+        // The site crashed after preparing. Retire the volatile state
+        // silently; if the site has already recovered the in-doubt record
+        // is resolvable now (the global outcome is abort), otherwise it
+        // stays in the stable log for recovery's presumed abort.
+        s.tm().detach_prepared(part.txn);
+        if (s.up()) s.tm().log().drop_prepared(t.gid_);
+      }
+    } else {
+      s.tm().abort(part.txn, reason);
+    }
+    if (s.up()) absorb_from(t, s);
+  }
+}
+
+void DistRuntime::abort_unavailable(DistTxn& t) {
+  abort_parts(t, AbortReason::kUnavailable);
+  count_abort(AbortReason::kUnavailable);
+  throw TransactionAborted(t.gid_, AbortReason::kUnavailable);
+}
+
+void DistRuntime::count_abort(AbortReason reason) {
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  if (reason == AbortReason::kUnavailable) {
+    unavailable_aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DistRuntime::bump_global_stamp(std::uint64_t v) {
+  std::uint64_t cur = global_stamp_.load(std::memory_order_relaxed);
+  while (cur < v && !global_stamp_.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void DistRuntime::commit(const std::shared_ptr<DistTxn>& t) {
+  if (t->finished_) {
+    throw UsageError("commit of finished distributed transaction " +
+                     to_string(t->gid_));
+  }
+  if (t->parts_.empty()) {
+    t->finished_ = true;
+    return;
+  }
+  if (t->kind_ == TxnKind::kReadOnly) {
+    commit_read_only(*t);
+    return;
+  }
+
+  // The failure rule: a transaction that ran at a site which has since
+  // failed cannot commit — its participant there was doomed by the
+  // crash, so its intentions are gone. Abort globally before any
+  // participant records a commit event.
+  for (auto& [idx, part] : t->parts_) {
+    Site& s = *sites_[idx];
+    if (!s.up() || !part.txn->active() || part.txn->doomed()) {
+      AbortReason reason = AbortReason::kUnavailable;
+      if (s.up() && part.txn->doomed() &&
+          part.txn->doom_reason() != AbortReason::kCrash) {
+        reason = part.txn->doom_reason();
+      }
+      abort_parts(*t, reason);
+      count_abort(reason);
+      throw TransactionAborted(t->gid_, reason);
+    }
+  }
+
+  if (t->parts_.size() == 1) {
+    const auto it = t->parts_.begin();
+    commit_one_phase(*t, it->first, it->second);
+  } else {
+    commit_two_phase(*t);
+  }
+}
+
+void DistRuntime::commit_read_only(DistTxn& t) {
+  // A cross-site read-only commit must be all-or-nothing too: commit and
+  // abort events are tracked per activity across the merged history, so
+  // committing at one site and aborting at another would make it
+  // ill-formed. Check every participant first (nothing recorded yet, so
+  // a global abort is still clean), then run the no-fail commit phase —
+  // a read-only commit is pure event recording, with no log force, no
+  // timestamp and no crash window.
+  t.finished_ = true;
+  for (auto& [idx, part] : t.parts_) {
+    Site& s = *sites_[idx];
+    if (!s.up() || !part.txn->active() || part.txn->doomed()) {
+      AbortReason reason = AbortReason::kUnavailable;
+      if (s.up() && part.txn->doomed() &&
+          part.txn->doom_reason() != AbortReason::kCrash) {
+        reason = part.txn->doom_reason();
+      }
+      abort_parts(t, reason);
+      count_abort(reason);
+      throw TransactionAborted(t.gid_, reason);
+    }
+  }
+  for (auto& [idx, part] : t.parts_) {
+    // Lamport carry into the commit events too: the stamp has absorbed
+    // every site this activity read at, so each site's commit event
+    // sequences after every invoke of the activity — otherwise a commit
+    // recorded at a lagging clock could sort before an invoke made at a
+    // busier site and the merged history would be ill-formed.
+    observe_into(t, *sites_[idx]);
+    sites_[idx]->tm().commit_read_only(part.txn);
+    absorb_from(t, *sites_[idx]);
+  }
+  read_only_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DistRuntime::commit_one_phase(DistTxn& t, std::size_t site_index,
+                                   DistTxn::Part& part) {
+  // A single participant commits through its site's ordinary pipeline —
+  // no coordinator lock, which is what keeps disjoint per-site workloads
+  // scaling with the site count.
+  t.finished_ = true;
+  Site& s = *sites_[site_index];
+  try {
+    s.tm().commit(part.txn);
+  } catch (const TransactionAborted& e) {
+    count_abort(e.reason());
+    throw;
+  }
+  const Timestamp decided = part.txn->commit_ts();
+  bump_global_stamp(decided);
+  register_commit(t, decided, {site_index});
+  one_phase_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DistRuntime::commit_two_phase(DistTxn& t) {
+  const std::scoped_lock commit_lock(dist_commit_mu_);
+  {
+    const std::scoped_lock lock(catalog_mu_);
+    in_2pc_ = true;
+  }
+  {
+    // While this gid's decision is open, a recovering participant must
+    // keep its prepared record in doubt instead of presuming abort.
+    const std::scoped_lock lock(decisions_mu_);
+    inflight_gid_ = t.gid_;
+  }
+
+  // Phase 1: prepare at every participant, in ascending site order. Each
+  // prepare validates locally, registers a proposed commit timestamp in
+  // the site clock's in-flight table, and forces a prepared record.
+  // tick_site_faults() between protocol steps puts mid-commit site
+  // failures inside the sweep's search space.
+  Timestamp decision = kNoTimestamp;
+  std::optional<AbortReason> veto;
+  for (auto& [idx, part] : t.parts_) {
+    tick_site_faults();
+    Site& s = *sites_[idx];
+    if (!s.up() || !part.txn->active() || part.txn->doomed()) {
+      veto = AbortReason::kUnavailable;
+      break;
+    }
+    const std::optional<Timestamp> proposal = s.tm().prepare_2pc(part.txn);
+    if (!proposal.has_value()) {
+      // The local transaction is already aborted (validation veto, log
+      // force failure, or a pinned crash downed the site mid-prepare).
+      veto = s.up() ? AbortReason::kValidation : AbortReason::kUnavailable;
+      break;
+    }
+    part.prepared = true;
+    part.proposal = *proposal;
+    decision = std::max(decision, *proposal);
+  }
+
+  if (veto.has_value()) {
+    {
+      const std::scoped_lock lock(decisions_mu_);
+      inflight_gid_.reset();
+    }
+    abort_parts(t, *veto);
+    count_abort(*veto);
+    run_deferred_catchups();
+    throw TransactionAborted(t.gid_, *veto);
+  }
+
+  // Decision: commit at G = max(proposals). Disjoint clock residue
+  // classes make G globally unique, and G >= every local proposal, so
+  // each participant's re-stamp is an order-preserving move. Recording
+  // the decision *before* delivery is what lets a participant that fails
+  // from here on resolve its in-doubt record at recovery (presumed abort
+  // for everything not on this list).
+  tick_site_faults();
+  {
+    const std::scoped_lock lock(decisions_mu_);
+    decisions_.emplace(t.gid_, decision);
+    inflight_gid_.reset();
+  }
+
+  // Phase 2: deliver. A participant that failed keeps its prepared
+  // record for recovery; one that failed and already recovered is
+  // resolved right here.
+  t.finished_ = true;
+  std::set<std::size_t> delivered;
+  for (auto& [idx, part] : t.parts_) {
+    tick_site_faults();
+    Site& s = *sites_[idx];
+    if (s.up() && part.txn->active() && !part.txn->doomed()) {
+      s.tm().commit_prepared(part.txn, decision);
+      // A pinned crash can down the site mid-apply; the promoted record
+      // is stable and the apply completes, so the commit is delivered
+      // here either way (recovery replays the same record).
+      delivered.insert(idx);
+    } else if (s.up()) {
+      // Failed after preparing, recovered before delivery.
+      s.tm().detach_prepared(part.txn);
+      resolve_in_doubt_commit(s, t.gid_, decision);
+      delivered.insert(idx);
+    } else {
+      // Still down: silent retire; the prepared record waits for
+      // recovery, which finds the decision on the commit list.
+      s.tm().detach_prepared(part.txn);
+    }
+  }
+
+  bump_global_stamp(decision);
+  register_commit(t, decision, delivered);
+  two_pc_commits_.fetch_add(1, std::memory_order_relaxed);
+  run_deferred_catchups();
+}
+
+void DistRuntime::register_commit(DistTxn& t, Timestamp decided,
+                                  const std::set<std::size_t>& delivered_sites) {
+  if (t.replicated_writes_.empty()) return;
+  const std::scoped_lock lock(catalog_mu_);
+  for (auto& [var, logged] : t.replicated_writes_) {
+    var->writes[decided].push_back(logged);
+  }
+  // A replica received this commit iff its site was a pinned write
+  // target *and* the commit was delivered there. Delivery makes the
+  // copy provably current for the variable, which also restores
+  // readability after a recovery (the stale-read rule's exit).
+  for (const auto& [var, targets] : t.write_targets_) {
+    if (!var->replicated) continue;
+    for (const auto& r : var->replicas) {
+      const std::size_t idx = r->site->index();
+      if (targets.contains(idx) && delivered_sites.contains(idx)) {
+        r->delivered.insert(decided);
+        r->readable.store(true, std::memory_order_release);
+      }
+    }
+  }
+}
+
+void DistRuntime::resolve_in_doubt_commit(Site& s, ActivityId gid,
+                                          Timestamp decided) {
+  CommitLogRecord rec;
+  bool found = false;
+  for (auto& r : s.tm().log().prepared_records()) {
+    if (r.txn == gid) {
+      rec = std::move(r);
+      found = true;
+      break;
+    }
+  }
+  // Recovery may have resolved it already (the decision was recorded
+  // before phase 2 began); promote_prepared returning false means the
+  // effects are present.
+  if (!found || !s.tm().log().promote_prepared(gid, decided)) return;
+  s.tm().clock().observe_committed(decided);
+  const ReplayContext ctx{rec.txn, decided, rec.start_ts};
+  for (const auto& entry : rec.entries) {
+    const auto obj = s.runtime().object(entry.object);
+    if (obj == nullptr) continue;
+    for (const LoggedOp& logged : entry.ops) obj->replay(ctx, logged);
+  }
+  synthesize_commit_events(s, rec, decided);
+  mark_promoted_delivered(rec, decided);
+  promoted_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DistRuntime::synthesize_commit_events(Site& s,
+                                           const CommitLogRecord& rec,
+                                           Timestamp ts) {
+  // The record's invoke/respond events were recorded before the crash
+  // and survive in the flight recorder; only the commit events are
+  // missing (the participant was detached before delivery). Synthesizing
+  // them late is safe: a commit event may appear anywhere after the
+  // responses, and the timestamp is the activity's decision timestamp at
+  // every object. Without them the merged history would show a committed
+  // transaction's effects with no commit — exactly the violation the
+  // checkers exist to catch.
+  EventSink* sink = s.runtime().recorder();
+  if (sink == nullptr) return;
+  for (const auto& entry : rec.entries) {
+    sink->record(options_.protocol == Protocol::kHybrid
+                     ? commit_at(entry.object, rec.txn, ts)
+                     : argus::commit(entry.object, rec.txn));
+  }
+}
+
+void DistRuntime::mark_promoted_delivered(const CommitLogRecord& rec,
+                                          Timestamp ts) {
+  const std::scoped_lock lock(catalog_mu_);
+  for (const auto& entry : rec.entries) {
+    const auto it = replica_by_oid_.find(entry.object);
+    if (it == replica_by_oid_.end()) continue;
+    if (!it->second.first->replicated) continue;
+    it->second.second->delivered.insert(ts);
+  }
+}
+
+// --- liveness ----------------------------------------------------------
+
+bool DistRuntime::fail(std::size_t site_index) {
+  Site& s = *sites_.at(site_index);
+  if (!s.up()) return false;
+  s.set_up(false);
+  site_fails_.fetch_add(1, std::memory_order_relaxed);
+  // Whole-node failure: dooms every local participant (the failure rule)
+  // and discards un-forced log records. Prepared records survive — they
+  // are what recovery resolves against the coordinator.
+  s.runtime().crash();
+  return true;
+}
+
+bool DistRuntime::recover(std::size_t site_index) {
+  Site& s = *sites_.at(site_index);
+  if (s.up()) return false;
+
+  // (1) Resolve in-doubt prepared records against the decision list:
+  // promote and count the ones the coordinator committed, presume abort
+  // for the rest — except a record of the 2PC currently in flight, whose
+  // outcome is genuinely still open. Either way the proposal's entry in
+  // the clock's in-flight table is released (idempotent), or it would
+  // stall every later commit turn at this site forever.
+  std::vector<std::pair<CommitLogRecord, Timestamp>> promoted;
+  for (auto& rec : s.tm().log().prepared_records()) {
+    s.tm().clock().finish_commit(rec.commit_ts);
+    std::optional<Timestamp> decided;
+    bool in_doubt = false;
+    {
+      const std::scoped_lock lock(decisions_mu_);
+      const auto it = decisions_.find(rec.txn);
+      if (it != decisions_.end()) {
+        decided = it->second;
+      } else if (inflight_gid_ == rec.txn) {
+        in_doubt = true;
+      }
+    }
+    if (decided.has_value()) {
+      if (s.tm().log().promote_prepared(rec.txn, *decided)) {
+        s.tm().clock().observe_committed(*decided);
+        promoted.emplace_back(std::move(rec), *decided);
+        promoted_commits_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (!in_doubt) {
+      if (s.tm().log().drop_prepared(rec.txn)) {
+        presumed_aborts_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // (2) Rebuild every object from the stable log — which now includes
+  // the just-promoted records, re-stamped with their decision
+  // timestamps, replayed in timestamp order.
+  s.runtime().recover();
+
+  // (3) The promoted transactions' commit events were never recorded
+  // (the site was down at delivery); synthesize them so per-site and
+  // merged histories certify.
+  for (const auto& [rec, ts] : promoted) {
+    synthesize_commit_events(s, rec, ts);
+    mark_promoted_delivered(rec, ts);
+  }
+
+  // (4) Stale-read rule: every replicated copy at a recovered site is
+  // unreadable until a client write commits to it post-recovery. The
+  // catch-up below restores the *state* but deliberately not
+  // readability. Sharded copies stay readable — no other copy can have
+  // taken writes while this site was down.
+  for (const auto& v : placement_.vars()) {
+    if (!v->replicated) continue;
+    if (Replica* r = v->replica_at(site_index)) {
+      r->readable.store(false, std::memory_order_release);
+    }
+  }
+
+  s.set_up(true);
+
+  // (5) Catch-up: re-apply the catalog writes this site missed, through
+  // an ordinary local transaction. Deferred while a 2PC is in flight —
+  // its decision timestamp may be below a timestamp drawn here now,
+  // which would un-sort the per-object committed logs.
+  bool defer = false;
+  {
+    const std::scoped_lock lock(catalog_mu_);
+    if (in_2pc_) {
+      deferred_catchup_.insert(site_index);
+      defer = true;
+    }
+  }
+  if (!defer && !catch_up(s)) {
+    // The copier was aborted by an injected fault: recovery is atomic,
+    // so the site goes back down and a later recover() retries whole.
+    s.set_up(false);
+    return false;
+  }
+  site_recovers_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool DistRuntime::catch_up(Site& s) {
+  struct Missing {
+    Timestamp ts{kNoTimestamp};
+    std::vector<LoggedOp> ops;
+    Replica* replica{nullptr};
+  };
+  std::vector<Missing> missing;
+  {
+    const std::scoped_lock lock(catalog_mu_);
+    for (const auto& v : placement_.vars()) {
+      if (!v->replicated) continue;
+      Replica* r = v->replica_at(s.index());
+      if (r == nullptr) continue;
+      for (const auto& [ts, ops] : v->writes) {
+        if (!r->delivered.contains(ts)) missing.push_back({ts, ops, r});
+      }
+    }
+  }
+  if (missing.empty()) return true;
+  std::sort(missing.begin(), missing.end(),
+            [](const Missing& a, const Missing& b) { return a.ts < b.ts; });
+
+  // The copier is an ordinary update transaction in the formal model —
+  // fresh activity id, normal invoke/respond/commit events — so the
+  // certified histories need no special case for it. Re-applying in
+  // origin-commit-timestamp order on a replica that has everything below
+  // the first missed write reproduces each operation's original state,
+  // so logged results match (divergence is counted if they don't).
+  std::shared_ptr<Transaction> txn;
+  std::uint64_t applied = 0;
+  try {
+    txn = s.tm().begin_as(next_gid(), TxnKind::kUpdate);
+    for (const Missing& m : missing) {
+      for (const LoggedOp& logged : m.ops) {
+        const Value result = m.replica->object->invoke(*txn, logged.op);
+        if (!(result == logged.result)) {
+          replica_divergence_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++applied;
+      }
+    }
+    s.tm().commit(txn);
+  } catch (const TransactionAborted&) {
+    if (txn != nullptr) s.tm().abort(txn);
+    return false;
+  }
+  catchup_txns_.fetch_add(1, std::memory_order_relaxed);
+  catchup_ops_.fetch_add(applied, std::memory_order_relaxed);
+  const std::scoped_lock lock(catalog_mu_);
+  for (const Missing& m : missing) m.replica->delivered.insert(m.ts);
+  return true;
+}
+
+void DistRuntime::run_deferred_catchups() {
+  std::set<std::size_t> pending;
+  {
+    const std::scoped_lock lock(catalog_mu_);
+    in_2pc_ = false;
+    pending.swap(deferred_catchup_);
+  }
+  for (const std::size_t idx : pending) {
+    Site& s = *sites_[idx];
+    if (!s.up()) continue;  // failed again; its next recovery catches up
+    if (!catch_up(s)) s.set_up(false);
+  }
+}
+
+void DistRuntime::set_fault_plan(const FaultPlan& plan) {
+  // Coordinator injector: decides site fail/recover per liveness tick.
+  // Its sequence source is the deployment-wide clock maximum, so fault
+  // trace lines interleave faithfully with the merged event trace.
+  auto coord = std::make_shared<FaultInjector>(plan);
+  coord->set_sequence_source([this] {
+    std::uint64_t m = 0;
+    for (const auto& s : sites_) m = std::max(m, s->tm().clock().now());
+    return m;
+  });
+  coordinator_injector_ = std::move(coord);
+
+  // Per-site injectors: derived seeds (distinct fault streams per site),
+  // site churn zeroed (that's the coordinator's job), and the pinned
+  // pipeline crash re-aimed at fail(site) — a node that crashes inside
+  // its commit pipeline is a site failure, not a private restart.
+  site_injectors_.clear();
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    FaultPlan local = plan;
+    local.seed = plan.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    local.site_fail_permille = 0;
+    local.site_recover_permille = 0;
+    auto inj = std::make_shared<FaultInjector>(local);
+    // set_fault_injector installs runtime().crash() as the crash hook;
+    // override it after, so the pinned crash goes through fail().
+    sites_[i]->runtime().set_fault_injector(inj);
+    inj->set_crash_hook([this, i] { fail(i); });
+    site_injectors_.push_back(std::move(inj));
+  }
+}
+
+void DistRuntime::tick_site_faults() {
+  FaultInjector* inj = coordinator_injector_.get();
+  if (inj == nullptr) return;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i]->up()) {
+      if (inj->on_site_fail(i)) fail(i);
+    } else {
+      if (inj->on_site_recover(i)) recover(i);
+    }
+  }
+}
+
+// --- observation -------------------------------------------------------
+
+History DistRuntime::merged_history() const {
+  std::vector<std::pair<std::pair<std::uint64_t, std::size_t>, Event>> all;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    FlightRecorder* fr = sites_[i]->runtime().flight_recorder();
+    if (fr == nullptr) continue;
+    for (auto& se : fr->sequenced_snapshot()) {
+      all.emplace_back(std::make_pair(se.seq, i), std::move(se.event));
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  History h;
+  for (auto& [key, e] : all) h.append(std::move(e));
+  return h;
+}
+
+std::string DistRuntime::merged_trace() const {
+  struct Line {
+    std::uint64_t seq{0};
+    std::size_t rank{0};
+    std::string text;
+  };
+  std::vector<Line> lines;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const std::string tag = "site" + std::to_string(i);
+    FlightRecorder* fr = sites_[i]->runtime().flight_recorder();
+    if (fr != nullptr) {
+      for (const auto& se : fr->sequenced_snapshot()) {
+        lines.push_back({se.seq, i, tag + ": " + to_string(se.event)});
+      }
+    }
+    if (i < site_injectors_.size() && site_injectors_[i] != nullptr) {
+      for (const FaultEvent& fe : site_injectors_[i]->trace()) {
+        // '#'-prefixed so hist/parse.h skips fault lines before the
+        // site-tag stripping even looks at them.
+        lines.push_back({fe.seq, i, "# " + tag + " " + to_trace_line(fe).substr(2)});
+      }
+    }
+  }
+  if (coordinator_injector_ != nullptr) {
+    for (const FaultEvent& fe : coordinator_injector_->trace()) {
+      lines.push_back(
+          {fe.seq, sites_.size(), "# coord " + to_trace_line(fe).substr(2)});
+    }
+  }
+  std::stable_sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    return a.seq != b.seq ? a.seq < b.seq : a.rank < b.rank;
+  });
+  std::string out;
+  for (const Line& l : lines) {
+    out += l.text;
+    out += '\n';
+  }
+  return out;
+}
+
+std::unordered_set<ActivityId> DistRuntime::read_only_activities() const {
+  const std::scoped_lock lock(ro_mu_);
+  return read_only_gids_;
+}
+
+std::vector<DistRuntime::DumpEntry> DistRuntime::dump(const Operation& op) {
+  std::vector<DumpEntry> out;
+  for (const auto& s : sites_) {
+    if (!s->up()) continue;
+    std::vector<std::pair<const LogicalVar*, Replica*>> local;
+    for (const auto& v : placement_.vars()) {
+      if (Replica* r = v->replica_at(s->index())) local.emplace_back(v.get(), r);
+    }
+    if (local.empty()) continue;
+    const std::size_t mark = out.size();
+    try {
+      // One administrative transaction per site, querying every local
+      // replica — readable or not (the classic dump() bypasses the
+      // stale-read rule). Recorded and certified like any transaction.
+      const auto txn = s->tm().begin_as(next_gid(), TxnKind::kUpdate);
+      for (const auto& [var, r] : local) {
+        out.push_back({var->name, s->index(), r->object->invoke(*txn, op)});
+      }
+      s->tm().commit(txn);
+    } catch (const TransactionAborted&) {
+      // An injected fault aborted the probe; drop its partial answers.
+      out.resize(mark);
+    }
+  }
+  return out;
+}
+
+DistStats DistRuntime::stats() const {
+  DistStats out;
+  out.begun = begun_.load(std::memory_order_relaxed);
+  out.one_phase_commits = one_phase_commits_.load(std::memory_order_relaxed);
+  out.two_pc_commits = two_pc_commits_.load(std::memory_order_relaxed);
+  out.read_only_commits = read_only_commits_.load(std::memory_order_relaxed);
+  out.aborts = aborts_.load(std::memory_order_relaxed);
+  out.unavailable_aborts =
+      unavailable_aborts_.load(std::memory_order_relaxed);
+  out.site_fails = site_fails_.load(std::memory_order_relaxed);
+  out.site_recovers = site_recovers_.load(std::memory_order_relaxed);
+  out.presumed_aborts = presumed_aborts_.load(std::memory_order_relaxed);
+  out.promoted_commits = promoted_commits_.load(std::memory_order_relaxed);
+  out.catchup_txns = catchup_txns_.load(std::memory_order_relaxed);
+  out.catchup_ops = catchup_ops_.load(std::memory_order_relaxed);
+  out.replica_divergence =
+      replica_divergence_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace argus

@@ -1,0 +1,378 @@
+// DistRuntime: the multi-site replicated runtime — N Sites (each a full
+// single-node runtime: commit pipeline, stable log, flight recorder),
+// a Placement of logical variables over them, available-copies reads,
+// write-all-available writes, and two-phase commit grown out of the
+// transaction manager's participant hooks (txn/manager.h).
+//
+// The design follows the replicated-data tradition the paper's model
+// plugs into (available copies with a fail/recover liveness model, as in
+// the classic distributed-database exercises):
+//
+//   * Global transactions. begin() assigns a globally unique ActivityId
+//     (gid) and lazily opens one local participant transaction per site
+//     touched, under the *same* gid (TransactionManager::begin_as), so
+//     the merged cross-site history has one activity per global
+//     transaction with no remapping. A Lamport stamp rides along: each
+//     site's clock observes the transaction's stamp before it operates
+//     there and the stamp absorbs the clock after, so cross-site
+//     causality is reflected in the numeric timestamps (site clocks draw
+//     from disjoint residue classes — Site's set_domain — which makes
+//     every timestamp globally unique and lets histories merge by
+//     sequence number).
+//
+//   * Available-copies. read() serves from any live readable replica
+//     (preferring a site the transaction already runs on); write()
+//     applies to every replica whose site is up. If no copy is
+//     available, the transaction aborts with AbortReason::kUnavailable.
+//     The failure rule: a transaction that touched a site which then
+//     failed cannot commit (its participant there was doomed by the
+//     crash); commit() detects this and aborts globally.
+//
+//   * Two-phase commit. A multi-site update commits via prepare_2pc at
+//     every participant (validate + force a prepared record under a
+//     *proposed* local timestamp held in the clock's in-flight table),
+//     then the decision timestamp G = max(proposals) — globally unique,
+//     and consistent with every local proposal — is delivered via
+//     commit_prepared (re-stamp, promote, apply behind the local
+//     watermark). Decisions are recorded coordinator-side *before*
+//     delivery (commit list; presumed abort for everything else), so a
+//     participant that fails between prepare and delivery resolves its
+//     in-doubt record at recovery: promote+replay if the gid is on the
+//     commit list, drop if not. Single-participant transactions take the
+//     ordinary one-phase pipeline — no coordinator lock — which is what
+//     keeps disjoint per-site workloads scaling (bench_distributed).
+//
+//   * fail()/recover() are first-class fault-plan sites
+//     (FaultSite::kSiteFail / kSiteRecover): set_fault_plan() attaches a
+//     coordinator injector that decides site churn per liveness tick —
+//     tick_site_faults() runs between transactions and *inside* the 2PC
+//     (mid-protocol site failures are part of the sweep's search space)
+//     — plus per-site injectors (derived seeds) for log/crash/wait
+//     faults, whose pinned pipeline crash is wired to fail(site).
+//
+//   * Recovery: resolve in-doubt prepared records against the decision
+//     list (synthesizing the missing commit events so per-site and
+//     merged histories stay certifiable — their invoke/respond events
+//     were recorded before the crash), replay the stable log, then run
+//     the catch-up copier: client writes to replicated variables the
+//     site missed (per the Placement catalog) are re-applied through an
+//     ordinary local transaction, so catch-up is itself just a writer in
+//     the formal model and needs no live peer. Finally the stale-read
+//     rule: recovered replicated copies stay unreadable until a client
+//     write commits to them post-recovery.
+//
+// Threading: transactions are single-threaded objects; DistRuntime
+// itself may be driven from many threads (the benchmark runs a thread
+// per site over disjoint shards). fail/recover/tick are coordinator
+// operations — drive them from one thread (the sweep's).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/system.h"
+#include "dist/placement.h"
+#include "dist/site.h"
+#include "fault/fault.h"
+#include "hist/history.h"
+#include "sched/factory.h"
+
+namespace argus {
+
+struct DistOptions {
+  std::size_t sites{2};
+  /// Local atomicity property of every object. Dynamic (§4.1) and hybrid
+  /// (§4.3) are supported; validate-at-commit protocols (OCC/MVCC)
+  /// cannot participate in 2PC (see TransactionManager::prepare_2pc).
+  Protocol protocol{Protocol::kHybrid};
+  Runtime::RecorderMode recorder{Runtime::RecorderMode::kFlight};
+  /// Site i allocates ObjectIds from [i*stride, (i+1)*stride).
+  std::uint64_t object_id_stride{1000};
+  /// Global transaction ids start here (clear of every site-local id
+  /// space; rendered "t1000000", "t1000001", ... in traces).
+  std::uint64_t gid_base{1000000};
+};
+
+struct DistStats {
+  std::uint64_t begun{0};
+  std::uint64_t one_phase_commits{0};
+  std::uint64_t two_pc_commits{0};
+  std::uint64_t read_only_commits{0};
+  std::uint64_t aborts{0};
+  std::uint64_t unavailable_aborts{0};
+  std::uint64_t site_fails{0};
+  std::uint64_t site_recovers{0};
+  std::uint64_t presumed_aborts{0};    // in-doubt records dropped at recovery
+  std::uint64_t promoted_commits{0};   // in-doubt records resolved to commit
+  std::uint64_t catchup_txns{0};       // catch-up copier transactions
+  std::uint64_t catchup_ops{0};        // operations re-applied by catch-up
+  std::uint64_t replica_divergence{0}; // replicas disagreed on a result
+};
+
+class DistRuntime;
+
+/// One global transaction. Created by DistRuntime::begin(); operate on it
+/// through DistRuntime::read/write/commit/abort. Single-threaded.
+class DistTxn {
+ public:
+  [[nodiscard]] ActivityId id() const { return gid_; }
+  [[nodiscard]] bool read_only() const { return kind_ == TxnKind::kReadOnly; }
+  /// The shared snapshot timestamp of a read-only transaction
+  /// (kNoTimestamp until its first read picks a site).
+  [[nodiscard]] Timestamp snapshot_ts() const { return snapshot_ts_; }
+  /// Site indices this transaction runs participants at.
+  [[nodiscard]] std::vector<std::size_t> participants() const;
+
+ private:
+  friend class DistRuntime;
+
+  struct Part {
+    std::shared_ptr<Transaction> txn;
+    bool prepared{false};
+    Timestamp proposal{kNoTimestamp};
+  };
+
+  ActivityId gid_{0};
+  TxnKind kind_{TxnKind::kUpdate};
+  Timestamp snapshot_ts_{kNoTimestamp};
+  std::uint64_t stamp_{0};  // Lamport carry between sites
+  std::map<std::size_t, Part> parts_;
+  /// Writes to replicated variables, in invocation order (first
+  /// replica's results) — becomes the catalog entry at commit.
+  std::vector<std::pair<LogicalVar*, LoggedOp>> replicated_writes_;
+  /// The replica sites each written variable's ops were applied at,
+  /// pinned at the first write (a site that recovers mid-transaction must
+  /// not receive a suffix of the variable's ops).
+  std::map<LogicalVar*, std::set<std::size_t>> write_targets_;
+  bool finished_{false};
+};
+
+class DistRuntime {
+ public:
+  explicit DistRuntime(DistOptions options = {});
+  ~DistRuntime();
+
+  DistRuntime(const DistRuntime&) = delete;
+  DistRuntime& operator=(const DistRuntime&) = delete;
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] Site& site(std::size_t i) { return *sites_.at(i); }
+  [[nodiscard]] Protocol protocol() const { return options_.protocol; }
+  [[nodiscard]] Placement& placement() { return placement_; }
+
+  /// Creates a sharded variable: one copy, at the next round-robin site.
+  template <AdtTraits A>
+  LogicalVar& create_sharded(const std::string& name) {
+    Site& s = *sites_[placement_.next_shard_site(sites_.size())];
+    std::vector<std::unique_ptr<Replica>> reps;
+    reps.push_back(std::make_unique<Replica>(
+        &s, make_object<A>(s.runtime(), options_.protocol, name)));
+    merged_system_.add_object(reps.back()->object->id(),
+                              std::make_shared<AdtSpec<A>>());
+    LogicalVar& var = placement_.add(name, /*replicated=*/false,
+                                     std::move(reps));
+    index_replicas(var);
+    return var;
+  }
+
+  /// Creates a replicated variable: one copy at every site.
+  template <AdtTraits A>
+  LogicalVar& create_replicated(const std::string& name) {
+    std::vector<std::unique_ptr<Replica>> reps;
+    for (auto& s : sites_) {
+      reps.push_back(std::make_unique<Replica>(
+          s.get(), make_object<A>(s->runtime(), options_.protocol, name)));
+      merged_system_.add_object(reps.back()->object->id(),
+                                std::make_shared<AdtSpec<A>>());
+    }
+    LogicalVar& var =
+        placement_.add(name, /*replicated=*/true, std::move(reps));
+    index_replicas(var);
+    return var;
+  }
+
+  // --- transactions ----------------------------------------------------
+
+  std::shared_ptr<DistTxn> begin(TxnKind kind = TxnKind::kUpdate);
+
+  /// Available-copies read: serves `op` from one live readable replica
+  /// (a site the transaction already runs on if possible, else a
+  /// deterministic hash pick). Throws TransactionAborted(kUnavailable) —
+  /// after aborting the transaction — if no copy is available.
+  Value read(DistTxn& t, const std::string& var, const Operation& op);
+
+  /// Write-all-available: applies `op` at every replica whose site is
+  /// up, returns the first replica's result (disagreements are counted
+  /// as replica_divergence). Unavailable if no site holding a copy is
+  /// up.
+  Value write(DistTxn& t, const std::string& var, const Operation& op);
+
+  /// Commits: read-only and single-participant transactions through the
+  /// local pipelines, multi-participant updates through 2PC. Throws
+  /// TransactionAborted (after aborting everywhere) on a veto, a failed
+  /// participant site, or unavailability.
+  void commit(const std::shared_ptr<DistTxn>& t);
+
+  void abort(const std::shared_ptr<DistTxn>& t);
+
+  // --- liveness --------------------------------------------------------
+
+  /// Site failure: marks the site down and crashes its runtime (dooming
+  /// its participants — the failure rule). False if already down.
+  bool fail(std::size_t site_index);
+
+  /// Site recovery: resolves in-doubt prepared records against the
+  /// decision list, replays the stable log, runs the catch-up copier,
+  /// and applies the stale-read rule. False if already up.
+  bool recover(std::size_t site_index);
+
+  /// Attaches fault injection: a coordinator injector deciding site
+  /// fail/recover per tick_site_faults() call, and per-site injectors
+  /// (derived seeds; pinned crashes wired to fail(site)) for log, crash
+  /// and wait faults. Call before running transactions.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// One liveness round: asks the coordinator injector, in site order,
+  /// whether each up site fails and each down site recovers. Called by
+  /// drivers between transactions; the 2PC calls it internally between
+  /// protocol steps so mid-commit site failures are explored.
+  void tick_site_faults();
+
+  [[nodiscard]] FaultInjector* coordinator_injector() {
+    return coordinator_injector_.get();
+  }
+
+  // --- observation -----------------------------------------------------
+
+  /// The cross-site history: every site's flight-recorder events merged
+  /// by (sequence, site). Disjoint clock domains make the merge a
+  /// faithful, precedes-consistent interleaving.
+  [[nodiscard]] History merged_history() const;
+
+  /// merged_history() in the parse.h dump notation: events stamped
+  /// "siteN: <...>", fault traces (site and coordinator) interleaved as
+  /// '#'-comment lines. Replayable through hist/parse.h.
+  [[nodiscard]] std::string merged_trace() const;
+
+  /// Specification of every replica at every site (each replica is its
+  /// own object in the formal model).
+  [[nodiscard]] const SystemSpec& merged_system() const {
+    return merged_system_;
+  }
+
+  /// Gids begun read-only (the partition check_well_formed_hybrid and
+  /// updates() need).
+  [[nodiscard]] std::unordered_set<ActivityId> read_only_activities() const;
+
+  struct DumpEntry {
+    std::string var;
+    std::size_t site{0};
+    Value value;
+  };
+
+  /// Administrative dump (the classic dump() query): runs `op` against
+  /// every replica at every up site through ordinary local transactions
+  /// (recorded and certified like any other), bypassing the stale-read
+  /// rule. Probes use it for conservation and replica-equality checks.
+  [[nodiscard]] std::vector<DumpEntry> dump(const Operation& op);
+
+  [[nodiscard]] DistStats stats() const;
+
+ private:
+  ActivityId next_gid() {
+    return ActivityId{options_.gid_base +
+                      gid_counter_.fetch_add(1, std::memory_order_relaxed)};
+  }
+
+  void index_replicas(LogicalVar& var);
+  DistTxn::Part& ensure_part(DistTxn& t, Site& s);
+  void observe_into(DistTxn& t, Site& s);
+  void absorb_from(DistTxn& t, Site& s);
+
+  void commit_read_only(DistTxn& t);
+  void commit_one_phase(DistTxn& t, std::size_t site_index,
+                        DistTxn::Part& part);
+  void commit_two_phase(DistTxn& t);
+  /// Abort every participant; prepared ones per their site's liveness.
+  void abort_parts(DistTxn& t, AbortReason reason);
+  [[noreturn]] void abort_unavailable(DistTxn& t);
+
+  /// Registers a committed transaction's replicated writes in the
+  /// catalog under decision timestamp G and marks delivery/readability
+  /// at `delivered_sites`.
+  void register_commit(DistTxn& t, Timestamp G,
+                       const std::set<std::size_t>& delivered_sites);
+
+  /// Commit-side resolution for a participant that failed and recovered
+  /// mid-2PC: promote its still-in-doubt record, replay the effects, and
+  /// synthesize the commit events. No-op if recovery already resolved
+  /// it.
+  void resolve_in_doubt_commit(Site& s, ActivityId gid, Timestamp G);
+
+  void synthesize_commit_events(Site& s, const CommitLogRecord& rec,
+                                Timestamp ts);
+  void mark_promoted_delivered(const CommitLogRecord& rec, Timestamp ts);
+
+  /// Re-applies catalog writes the site's replicas missed, through one
+  /// ordinary local transaction. False if an injected fault aborted the
+  /// copier — the site is then marked down again (recovery is atomic; a
+  /// later recover() retries).
+  bool catch_up(Site& s);
+  void run_deferred_catchups();
+
+  void bump_global_stamp(std::uint64_t v);
+  void count_abort(AbortReason reason);
+
+  DistOptions options_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  Placement placement_;
+  SystemSpec merged_system_;
+  std::unordered_map<ObjectId, std::pair<LogicalVar*, Replica*>>
+      replica_by_oid_;
+
+  std::atomic<std::uint64_t> gid_counter_{0};
+  std::atomic<std::uint64_t> global_stamp_{0};
+
+  /// Serializes multi-participant commits (and the liveness churn the
+  /// 2PC interleaves); one-phase commits never take it.
+  std::mutex dist_commit_mu_;
+  bool in_2pc_{false};  // guarded by catalog_mu_ (recover() reads it)
+
+  mutable std::mutex decisions_mu_;
+  std::map<ActivityId, Timestamp> decisions_;  // commit list (presumed abort)
+  std::optional<ActivityId> inflight_gid_;     // guarded by decisions_mu_
+
+  mutable std::mutex catalog_mu_;  // placement catalog + deferred catch-ups
+  std::set<std::size_t> deferred_catchup_;
+
+  mutable std::mutex ro_mu_;
+  std::unordered_set<ActivityId> read_only_gids_;
+
+  std::shared_ptr<FaultInjector> coordinator_injector_;
+  std::vector<std::shared_ptr<FaultInjector>> site_injectors_;
+
+  std::atomic<std::uint64_t> begun_{0};
+  std::atomic<std::uint64_t> one_phase_commits_{0};
+  std::atomic<std::uint64_t> two_pc_commits_{0};
+  std::atomic<std::uint64_t> read_only_commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> unavailable_aborts_{0};
+  std::atomic<std::uint64_t> site_fails_{0};
+  std::atomic<std::uint64_t> site_recovers_{0};
+  std::atomic<std::uint64_t> presumed_aborts_{0};
+  std::atomic<std::uint64_t> promoted_commits_{0};
+  std::atomic<std::uint64_t> catchup_txns_{0};
+  std::atomic<std::uint64_t> catchup_ops_{0};
+  std::atomic<std::uint64_t> replica_divergence_{0};
+};
+
+}  // namespace argus

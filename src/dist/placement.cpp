@@ -1,0 +1,34 @@
+#include "dist/placement.h"
+
+#include "common/errors.h"
+#include "dist/site.h"
+
+namespace argus {
+
+Replica* LogicalVar::replica_at(std::size_t site_index) const {
+  for (const auto& r : replicas) {
+    if (r->site->index() == site_index) return r.get();
+  }
+  return nullptr;
+}
+
+LogicalVar& Placement::add(std::string name, bool replicated,
+                           std::vector<std::unique_ptr<Replica>> replicas) {
+  if (index_.contains(name)) {
+    throw UsageError("logical variable '" + name + "' already exists");
+  }
+  auto var = std::make_unique<LogicalVar>();
+  var->name = name;
+  var->replicated = replicated;
+  var->replicas = std::move(replicas);
+  index_.emplace(std::move(name), vars_.size());
+  vars_.push_back(std::move(var));
+  return *vars_.back();
+}
+
+LogicalVar* Placement::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : vars_[it->second].get();
+}
+
+}  // namespace argus

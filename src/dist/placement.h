@@ -1,0 +1,110 @@
+// Placement: the mapping from logical variables to physical copies.
+//
+// A logical variable is either *sharded* — one copy, at the site the
+// round-robin assignment chose — or *replicated* — one copy per site.
+// Each copy ("replica") is an ordinary ManagedObject registered with its
+// site's runtime; in the formal model every replica is its own object
+// (per-site and merged histories are certified with per-replica object
+// ids), and the available-copies discipline is a property of how
+// DistRuntime routes reads and writes over this table:
+//
+//   * read  — any live replica whose `readable` flag is set,
+//   * write — every replica whose site is up,
+//   * a replica at a recovering site is marked unreadable and stays so
+//     until a client write commits to it after the recovery (the
+//     stale-read rule; the recovery catch-up copier restores its state
+//     but deliberately does not restore readability).
+//
+// The table itself is immutable after setup (create all variables before
+// running transactions): the hot path reads it without locks, only the
+// per-replica `readable` flag and the catch-up bookkeeping mutate.
+//
+// `LogicalVar::writes` and `Replica::delivered` are the coordinator-side
+// catalog the recovery catch-up copier works from: every committed client
+// write to a replicated variable is recorded under its (globally unique)
+// commit timestamp, and each replica tracks which of those writes reached
+// it — either delivered at commit, promoted from an in-doubt prepared
+// record during recovery, or re-applied by a catch-up transaction. The
+// catalog lives outside any site on purpose: it plays the role of the
+// replicated catalog / coordinator state that survives individual site
+// failures, so catch-up needs no live peer to copy from. Guarded by
+// DistRuntime's catalog mutex.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "txn/managed_object.h"
+
+namespace argus {
+
+class Site;
+
+struct Replica {
+  Replica(Site* s, std::shared_ptr<ManagedObject> o)
+      : site(s), object(std::move(o)) {}
+
+  Site* site{nullptr};
+  std::shared_ptr<ManagedObject> object;
+
+  /// Available-copies read permission. Cleared when the site recovers
+  /// (stale-read rule), set again by the next committed client write.
+  std::atomic<bool> readable{true};
+
+  /// Commit timestamps of the catalog writes this replica has applied.
+  /// Guarded by DistRuntime's catalog mutex.
+  std::set<Timestamp> delivered;
+};
+
+struct LogicalVar {
+  std::string name;
+  bool replicated{false};
+  std::vector<std::unique_ptr<Replica>> replicas;  // ascending site index
+
+  /// Committed client writes: origin commit timestamp -> the operations
+  /// (with results) the transaction performed on this variable, in
+  /// invocation order. Guarded by DistRuntime's catalog mutex.
+  std::map<Timestamp, std::vector<LoggedOp>> writes;
+
+  /// The replica hosted at `site_index`, or nullptr (sharded variables
+  /// have exactly one replica, somewhere).
+  [[nodiscard]] Replica* replica_at(std::size_t site_index) const;
+};
+
+class Placement {
+ public:
+  Placement() = default;
+  Placement(const Placement&) = delete;
+  Placement& operator=(const Placement&) = delete;
+
+  /// Registers a logical variable. Names must be unique.
+  LogicalVar& add(std::string name, bool replicated,
+                  std::vector<std::unique_ptr<Replica>> replicas);
+
+  /// nullptr if no variable of that name exists.
+  [[nodiscard]] LogicalVar* find(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<LogicalVar>>& vars() const {
+    return vars_;
+  }
+
+  /// The site index the next sharded variable should live at
+  /// (round-robin; deterministic in creation order).
+  [[nodiscard]] std::size_t next_shard_site(std::size_t site_count) {
+    return site_count == 0 ? 0 : next_shard_++ % site_count;
+  }
+
+ private:
+  std::vector<std::unique_ptr<LogicalVar>> vars_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t next_shard_{0};
+};
+
+}  // namespace argus

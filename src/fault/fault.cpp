@@ -22,6 +22,10 @@ std::string to_string(FaultSite site) {
       return "wait-spurious-timeout";
     case FaultSite::kWaitDelayedWakeup:
       return "wait-delayed-wakeup";
+    case FaultSite::kSiteFail:
+      return "site-fail";
+    case FaultSite::kSiteRecover:
+      return "site-recover";
   }
   return "?";
 }
@@ -48,6 +52,10 @@ std::string to_string(FaultAction action) {
       return "spurious-timeout";
     case FaultAction::kDelayedWakeup:
       return "delayed-wakeup";
+    case FaultAction::kSiteFail:
+      return "site-fail";
+    case FaultAction::kSiteRecover:
+      return "site-recover";
   }
   return "?";
 }
@@ -105,6 +113,25 @@ bool FaultInjector::maybe_crash(FaultSite point) {
   return true;
 }
 
+bool FaultInjector::on_site_fail(std::size_t site_index) {
+  const std::uint64_t arrival = next_arrival(FaultSite::kSiteFail);
+  if (plan_.site_fail_permille == 0 || !budget_open()) return false;
+  SplitMix64 rng = decision_rng(FaultSite::kSiteFail, arrival);
+  if (!rng.chance(plan_.site_fail_permille, 1000)) return false;
+  emit(FaultSite::kSiteFail, arrival, FaultAction::kSiteFail, site_index);
+  return true;
+}
+
+bool FaultInjector::on_site_recover(std::size_t site_index) {
+  const std::uint64_t arrival = next_arrival(FaultSite::kSiteRecover);
+  if (plan_.site_recover_permille == 0 || !budget_open()) return false;
+  SplitMix64 rng = decision_rng(FaultSite::kSiteRecover, arrival);
+  if (!rng.chance(plan_.site_recover_permille, 1000)) return false;
+  emit(FaultSite::kSiteRecover, arrival, FaultAction::kSiteRecover,
+       site_index);
+  return true;
+}
+
 FaultInjector::WaitDecision FaultInjector::on_wait() {
   WaitDecision out;
   const std::uint64_t timeout_arrival =
@@ -154,13 +181,17 @@ std::vector<FaultEvent> FaultInjector::trace() const {
   return trace_;
 }
 
+std::string to_trace_line(const FaultEvent& e) {
+  std::ostringstream out;
+  out << "# fault seq=" << e.seq << " site=" << to_string(e.site)
+      << " arrival=" << e.arrival << " action=" << to_string(e.action)
+      << " detail=" << e.detail;
+  return out.str();
+}
+
 std::string FaultInjector::trace_to_string() const {
   std::ostringstream out;
-  for (const FaultEvent& e : trace()) {
-    out << "# fault seq=" << e.seq << " site=" << to_string(e.site)
-        << " arrival=" << e.arrival << " action=" << to_string(e.action)
-        << " detail=" << e.detail << "\n";
-  }
+  for (const FaultEvent& e : trace()) out << to_trace_line(e) << "\n";
   return out.str();
 }
 

@@ -63,9 +63,11 @@ enum class FaultSite : int {
   kPostApplyPreWatermark,   // commit: applied, watermark not yet advanced
   kWaitSpuriousTimeout,     // await(): doom as if the wait timed out
   kWaitDelayedWakeup,       // await(): stretch one wait round
+  kSiteFail,                // multi-site: a whole Site fails (crash)
+  kSiteRecover,             // multi-site: a failed Site recovers
 };
 
-inline constexpr std::size_t kFaultSiteCount = 8;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 [[nodiscard]] std::string to_string(FaultSite site);
 [[nodiscard]] std::optional<FaultSite> fault_site_from_string(
@@ -79,6 +81,8 @@ enum class FaultAction {
   kCrash,
   kSpuriousTimeout,
   kDelayedWakeup,
+  kSiteFail,
+  kSiteRecover,
 };
 
 [[nodiscard]] std::string to_string(FaultAction action);
@@ -94,6 +98,10 @@ struct FaultEvent {
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
+
+/// One fault as a '#'-comment line (what trace_to_string emits per
+/// event); hist/parse.h skips it, so dumps stay replayable.
+[[nodiscard]] std::string to_trace_line(const FaultEvent& e);
 
 inline constexpr std::uint64_t kUnlimitedFaults = ~0ULL;
 
@@ -121,6 +129,13 @@ struct FaultPlan {
   std::uint32_t spurious_timeout_permille{0};
   std::uint32_t delayed_wakeup_permille{0};
   std::uint32_t delayed_wakeup_us{200};
+
+  // Multi-site faults (dist/DistRuntime's coordinator injector): per
+  // liveness tick, the chance that an up site fails, and that a down
+  // site recovers. Both count against max_faults, so budget bisection
+  // shrinks site churn like any other fault class.
+  std::uint32_t site_fail_permille{0};
+  std::uint32_t site_recover_permille{0};
 
   // Probabilistic faults injected after this many have fired are
   // suppressed (the pinned crash is configuration, not budget).
@@ -171,6 +186,12 @@ class FaultInjector {
   /// Fires the pinned crash if this arrival at `point` is the one the
   /// plan names. Returns true when the hook ran (exactly once ever).
   bool maybe_crash(FaultSite point);
+
+  /// Liveness decisions for the multi-site runtime, rolled once per
+  /// (tick, site) by the coordinator in a fixed order. `site_index` is
+  /// recorded as the event detail. Both respect the fault budget.
+  [[nodiscard]] bool on_site_fail(std::size_t site_index);
+  [[nodiscard]] bool on_site_recover(std::size_t site_index);
 
   /// Decision for one blocking-wait round.
   struct WaitDecision {

@@ -87,7 +87,21 @@ std::string trim(const std::string& s) {
 }  // namespace
 
 ParseResult parse_event_line(const std::string& raw) {
-  const std::string line = trim(raw);
+  std::string line = trim(raw);
+  // Multi-site dumps stamp each event with the site that recorded it
+  // ("site2: <deposit(5),x,a>"). The stamp is provenance, not part of
+  // the event — strip it so cross-site dumps replay through the same
+  // offline checkers as single-node ones.
+  if (line.size() > 4 && line.compare(0, 4, "site") == 0) {
+    std::size_t i = 4;
+    while (i < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i > 4 && i < line.size() && line[i] == ':') {
+      line = trim(line.substr(i + 1));
+    }
+  }
   if (line.size() < 2 || line.front() != '<' || line.back() != '>') {
     return fail("event must be enclosed in <...>: " + line);
   }

@@ -7,6 +7,12 @@
 // x,y,z/objN; activities a..z/tN (the inverses of to_string(ObjectId) and
 // to_string(ActivityId)).
 //
+// Multi-site dumps (dist/DistRuntime::merged_trace) stamp events with the
+// recording site — "site1: <deposit(5),x,a>" — and interleave the sites'
+// fault traces as '#'-comment lines (including site fail/recover events).
+// The "siteN:" prefix is stripped: a cross-site dump parses to the same
+// merged History the online checkers saw.
+//
 // Used by the check_history example so histories can be written in a
 // file, classified, and compared against the paper by hand.
 #pragma once

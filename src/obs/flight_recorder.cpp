@@ -129,6 +129,10 @@ History FlightRecorder::snapshot() const {
   return h;
 }
 
+std::vector<SequencedEvent> FlightRecorder::sequenced_snapshot() const {
+  return merge_slices(copy_shards());
+}
+
 History FlightRecorder::tail(std::size_t max_events) const {
   auto merged = merge_slices(copy_shards());
   History h;

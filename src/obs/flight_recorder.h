@@ -85,6 +85,12 @@ class FlightRecorder final : public EventSink {
   /// The last `max_events` retained events, merged in sequence order.
   [[nodiscard]] History tail(std::size_t max_events) const;
 
+  /// snapshot() with the sequence stamps kept — what the multi-site
+  /// runtime merges across sites (per-site sequences come from disjoint
+  /// clock domains, so a cross-site sort by seq is a faithful
+  /// precedes-consistent interleaving). Non-destructive.
+  [[nodiscard]] std::vector<SequencedEvent> sequenced_snapshot() const;
+
   /// Events recorded since the previous drain_new() call, merged in
   /// sequence order. Advances the drain cursors (snapshot() is
   /// unaffected). Note that a slow recording thread can publish an event

@@ -1,0 +1,474 @@
+#include "sim/dist_sweep.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+
+#include "check/atomicity.h"
+#include "common/rng.h"
+#include "dist/dist_runtime.h"
+#include "hist/wellformed.h"
+#include "spec/adts/bank_account.h"
+
+namespace argus {
+
+namespace {
+
+std::optional<Protocol> protocol_from_string(const std::string& name) {
+  for (Protocol p : {Protocol::kDynamic, Protocol::kHybrid}) {
+    if (to_string(p) == name) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_dist_config_string(const DistSweepCase& c) {
+  std::ostringstream out;
+  out << "# dist-sweep case (replay: examples/dist_replay <file>)\n";
+  out << "sites " << c.sites << "\n";
+  out << "protocol " << to_string(c.protocol) << "\n";
+  out << "sharded " << c.sharded << "\n";
+  out << "replicated " << c.replicated << "\n";
+  out << "transactions " << c.transactions << "\n";
+  out << "initial_balance " << c.initial_balance << "\n";
+  out << "seed " << c.plan.seed << "\n";
+  out << "site_fail_permille " << c.plan.site_fail_permille << "\n";
+  out << "site_recover_permille " << c.plan.site_recover_permille << "\n";
+  out << "force_fail_permille " << c.plan.force_fail_permille << "\n";
+  out << "force_max_retries " << c.plan.force_max_retries << "\n";
+  out << "force_retry_backoff_us " << c.plan.force_retry_backoff_us << "\n";
+  out << "torn_batch_permille " << c.plan.torn_batch_permille << "\n";
+  out << "leader_latency_permille " << c.plan.leader_latency_permille << "\n";
+  out << "leader_latency_us " << c.plan.leader_latency_us << "\n";
+  out << "crash_point " << to_string(c.plan.crash_point) << "\n";
+  out << "crash_at " << c.plan.crash_at_arrival << "\n";
+  out << "spurious_timeout_permille " << c.plan.spurious_timeout_permille
+      << "\n";
+  out << "delayed_wakeup_permille " << c.plan.delayed_wakeup_permille << "\n";
+  out << "delayed_wakeup_us " << c.plan.delayed_wakeup_us << "\n";
+  out << "max_faults " << c.plan.max_faults << "\n";
+  return out.str();
+}
+
+bool parse_dist_case(const std::string& text, DistSweepCase* out,
+                     std::string* error) {
+  DistSweepCase c;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    if (line[0] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string key, value, extra;
+    if (!(fields >> key >> value) || (fields >> extra)) {
+      return fail("expected `key value`: " + line);
+    }
+
+    if (key == "protocol") {
+      const auto p = protocol_from_string(value);
+      if (!p) return fail("unknown/unsupported protocol: " + value);
+      c.protocol = *p;
+      continue;
+    }
+    if (key == "crash_point") {
+      const auto site = fault_site_from_string(value);
+      if (!site) return fail("unknown crash point: " + value);
+      c.plan.crash_point = *site;
+      continue;
+    }
+
+    std::uint64_t n = 0;
+    try {
+      n = std::stoull(value);
+    } catch (const std::exception&) {
+      return fail("not a number: " + value);
+    }
+    if (key == "sites") {
+      if (n == 0) return fail("sites must be > 0");
+      c.sites = static_cast<int>(n);
+    } else if (key == "sharded") {
+      c.sharded = static_cast<int>(n);
+    } else if (key == "replicated") {
+      c.replicated = static_cast<int>(n);
+    } else if (key == "transactions") {
+      c.transactions = static_cast<int>(n);
+    } else if (key == "initial_balance") {
+      c.initial_balance = static_cast<std::int64_t>(n);
+    } else if (key == "seed") {
+      c.plan.seed = n;
+    } else if (key == "site_fail_permille") {
+      c.plan.site_fail_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "site_recover_permille") {
+      c.plan.site_recover_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "force_fail_permille") {
+      c.plan.force_fail_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "force_max_retries") {
+      c.plan.force_max_retries = static_cast<std::uint32_t>(n);
+    } else if (key == "force_retry_backoff_us") {
+      c.plan.force_retry_backoff_us = static_cast<std::uint32_t>(n);
+    } else if (key == "torn_batch_permille") {
+      c.plan.torn_batch_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "leader_latency_permille") {
+      c.plan.leader_latency_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "leader_latency_us") {
+      c.plan.leader_latency_us = static_cast<std::uint32_t>(n);
+    } else if (key == "crash_at") {
+      c.plan.crash_at_arrival = n;
+    } else if (key == "spurious_timeout_permille") {
+      c.plan.spurious_timeout_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "delayed_wakeup_permille") {
+      c.plan.delayed_wakeup_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "delayed_wakeup_us") {
+      c.plan.delayed_wakeup_us = static_cast<std::uint32_t>(n);
+    } else if (key == "max_faults") {
+      c.plan.max_faults = n;
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  if (c.sharded + c.replicated == 0) return fail("no accounts configured");
+  *out = c;
+  return true;
+}
+
+DistCaseResult run_dist_case(const DistSweepCase& c) {
+  DistCaseResult result;
+  std::vector<std::string> failures;
+  auto probe = [&](bool ok, const std::string& what) {
+    if (!ok) failures.push_back(what);
+  };
+
+  DistOptions options;
+  options.sites = static_cast<std::size_t>(c.sites);
+  options.protocol = c.protocol;
+  DistRuntime dist(options);
+
+  std::vector<std::string> names;
+  for (int i = 0; i < c.sharded; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    dist.create_sharded<BankAccountAdt>(name);
+    names.push_back(name);
+  }
+  for (int i = 0; i < c.replicated; ++i) {
+    const std::string name = "r" + std::to_string(i);
+    dist.create_replicated<BankAccountAdt>(name);
+    names.push_back(name);
+  }
+
+  std::vector<AtomicitySentinel*> sentinels;
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    Runtime& rt = dist.site(i).runtime();
+    rt.set_wait_timeout_all(std::chrono::milliseconds(200));
+    SentinelOptions sentinel_options;
+    sentinel_options.window = std::chrono::milliseconds(2);
+    sentinels.push_back(&rt.start_sentinel(sentinel_options));
+  }
+
+  // Seed every account before faults are live: the conservation probe
+  // needs a known starting total, and the model starts from a quiescent
+  // committed state. With >1 site this is itself a 2PC (it writes at
+  // every site).
+  {
+    auto setup = dist.begin();
+    for (const auto& name : names) {
+      dist.write(*setup, name, account::deposit(c.initial_balance));
+    }
+    dist.commit(setup);
+  }
+
+  dist.set_fault_plan(c.plan);
+
+  // Deterministic single-threaded workload: transfers between random
+  // logical accounts (sharded<->replicated pairs force 2PC), plus
+  // read-only audits under the hybrid protocol and occasional in-update
+  // reads (the available-copies read path) under both.
+  SplitMix64 rng(c.plan.seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (int i = 0; i < c.transactions; ++i) {
+    dist.tick_site_faults();
+    const bool audit =
+        supports_snapshot_reads(c.protocol) && rng.chance(1, 4);
+    const auto t = dist.begin(audit ? TxnKind::kReadOnly : TxnKind::kUpdate);
+    try {
+      if (audit) {
+        for (const auto& name : names) {
+          dist.read(*t, name, account::balance());
+        }
+      } else {
+        const std::size_t n = names.size();
+        const std::size_t from = rng.below(n);
+        const std::size_t to =
+            n > 1 ? (from + 1 + rng.below(n - 1)) % n : from;
+        const std::int64_t amount = rng.range(1, 5);
+        const Value got =
+            dist.write(*t, names[from], account::withdraw(amount));
+        if (got.is_unit()) {
+          dist.write(*t, names[to], account::deposit(amount));
+        }
+        if (rng.chance(1, 3)) {
+          dist.read(*t, names[to], account::balance());
+        }
+      }
+      dist.commit(t);
+    } catch (const TransactionAborted&) {
+      // read/write/commit abort the distributed transaction before
+      // throwing; nothing to clean up.
+    }
+  }
+
+  // Epilogue: verification runs fault-free. Clear the per-site injectors
+  // (the coordinator injector only acts when ticked, and the epilogue
+  // never ticks), then recover every down site — the full crash ->
+  // in-doubt resolution -> log replay -> catch-up path, now guaranteed
+  // to complete.
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    dist.site(i).runtime().set_fault_injector(nullptr);
+  }
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    if (!dist.site(i).up()) {
+      probe(dist.recover(i),
+            "recover: site " + std::to_string(i) + " failed fault-free");
+    }
+  }
+
+  // The replayable artifact: everything up to (not including) the
+  // verification probes, so two runs of the same case compare
+  // byte-for-byte without the probes' own transactions in the way.
+  result.trace = dist.merged_trace();
+
+  const DistStats stats = dist.stats();
+
+  // Probe: conservation + replica agreement, via the administrative dump
+  // (bypasses the stale-read rule; every site is up, so every copy of
+  // every variable answers exactly once).
+  {
+    std::map<std::string, std::vector<std::int64_t>> by_var;
+    for (const auto& entry : dist.dump(account::balance())) {
+      by_var[entry.var].push_back(entry.value.as_int());
+    }
+    probe(by_var.size() == names.size(),
+          "dump: " + std::to_string(by_var.size()) + " of " +
+              std::to_string(names.size()) + " variables answered");
+    std::int64_t total = 0;
+    for (const auto& [var, values] : by_var) {
+      total += values.front();
+      for (const std::int64_t v : values) {
+        probe(v == values.front(),
+              "replica agreement: " + var + " has copies " +
+                  std::to_string(values.front()) + " and " +
+                  std::to_string(v));
+      }
+    }
+    const std::int64_t expected =
+        static_cast<std::int64_t>(names.size()) * c.initial_balance;
+    probe(total == expected,
+          "conservation: recovered total " + std::to_string(total) +
+              " != " + std::to_string(expected));
+  }
+  probe(stats.replica_divergence == 0,
+        "replica divergence: " + std::to_string(stats.replica_divergence) +
+            " mismatched write results");
+
+  // Probes per site: stable-log order and watermark coverage.
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    const std::string tag = "site" + std::to_string(i) + " ";
+    Runtime& rt = dist.site(i).runtime();
+    const auto records = rt.tm().log().records();
+    const Timestamp watermark = rt.tm().clock().watermark();
+    Timestamp prev = 0;
+    for (const auto& record : records) {
+      probe(record.commit_ts >= prev,
+            tag + "log order: record ts " + std::to_string(record.commit_ts) +
+                " after ts " + std::to_string(prev));
+      prev = record.commit_ts;
+      probe(record.commit_ts <= watermark,
+            tag + "watermark: forced ts " + std::to_string(record.commit_ts) +
+                " above watermark " + std::to_string(watermark));
+    }
+  }
+
+  // Formal certification, twice over: each site's local history against
+  // its local objects, and the merged cross-site history (one activity
+  // per global transaction) against every replica in the deployment.
+  const auto read_only = dist.read_only_activities();
+  auto certify = [&](const SystemSpec& system, const History& h,
+                     const std::string& tag) {
+    switch (c.protocol) {
+      case Protocol::kDynamic: {
+        const auto wf = check_well_formed(h);
+        probe(wf.ok(), tag + "well-formed: " + wf.summary());
+        const auto verdict = check_dynamic_atomic(system, h);
+        probe(verdict.ok, tag + "dynamic atomic: " + verdict.explanation);
+        break;
+      }
+      default: {
+        const auto wf = check_well_formed_hybrid(h, read_only);
+        probe(wf.ok(), tag + "well-formed(hybrid): " + wf.summary());
+        const auto verdict = check_hybrid_atomic(system, h);
+        probe(verdict.ok, tag + "hybrid atomic: " + verdict.explanation);
+        break;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    Runtime& rt = dist.site(i).runtime();
+    certify(rt.system(), rt.history(), "site" + std::to_string(i) + " ");
+  }
+  certify(dist.merged_system(), dist.merged_history(), "merged ");
+
+  // The online sentinels watched the same run, crash windows included.
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    sentinels[i]->stop();
+    probe(sentinels[i]->violations() == 0,
+          "site" + std::to_string(i) +
+              " sentinel: " + sentinels[i]->last_violation());
+    dist.site(i).runtime().stop_sentinel();
+  }
+
+  result.faults_injected = 0;
+  if (FaultInjector* coord = dist.coordinator_injector()) {
+    result.faults_injected += coord->faults_injected();
+  }
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    if (FaultInjector* inj = dist.site(i).runtime().fault_injector()) {
+      result.faults_injected += inj->faults_injected();
+    }
+  }
+  result.site_fails = stats.site_fails;
+  result.site_recovers = stats.site_recovers;
+  result.committed =
+      stats.one_phase_commits + stats.two_pc_commits + stats.read_only_commits;
+  result.two_pc_commits = stats.two_pc_commits;
+  result.aborted = stats.aborts;
+  result.promoted_commits = stats.promoted_commits;
+  result.presumed_aborts = stats.presumed_aborts;
+  result.catchup_txns = stats.catchup_txns;
+  result.ok = failures.empty();
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) result.failure += "\n";
+    result.failure += failures[i];
+  }
+  return result;
+}
+
+std::vector<DistSweepCase> enumerate_dist_cases(
+    const DistSweepOptions& options) {
+  // Fault mixes: clean, site churn alone, log faults alone, a pinned
+  // mid-commit crash (delivered as a site failure) with recovery churn,
+  // then everything at once.
+  struct Mix {
+    const char* name;
+    FaultPlan plan;  // seed/crash_at overwritten per cell
+  };
+  std::vector<Mix> mixes;
+  {
+    Mix clean{"clean", {}};
+    mixes.push_back(clean);
+    Mix churn{"site-churn", {}};
+    churn.plan.site_fail_permille = 80;
+    churn.plan.site_recover_permille = 350;
+    mixes.push_back(churn);
+    Mix log_faults{"log-faults", {}};
+    log_faults.plan.force_fail_permille = 200;
+    log_faults.plan.force_max_retries = 2;
+    log_faults.plan.force_retry_backoff_us = 10;
+    log_faults.plan.torn_batch_permille = 200;
+    mixes.push_back(log_faults);
+    Mix crash{"pinned-crash", {}};
+    crash.plan.crash_point = FaultSite::kPostForcePreApply;
+    crash.plan.site_recover_permille = 300;  // let the failed site return
+    mixes.push_back(crash);
+    Mix chaos{"chaos", {}};
+    chaos.plan.site_fail_permille = 60;
+    chaos.plan.site_recover_permille = 300;
+    chaos.plan.force_fail_permille = 100;
+    chaos.plan.force_max_retries = 2;
+    chaos.plan.force_retry_backoff_us = 10;
+    chaos.plan.torn_batch_permille = 120;
+    chaos.plan.leader_latency_permille = 100;
+    chaos.plan.leader_latency_us = 50;
+    chaos.plan.crash_point = FaultSite::kMidApply;
+    mixes.push_back(chaos);
+  }
+
+  std::vector<DistSweepCase> out;
+  for (const int sites : options.site_counts) {
+    for (const Mix& mix : mixes) {
+      const auto mix_index = static_cast<std::uint64_t>(&mix - mixes.data());
+      const bool pinned_crash = mix.plan.crash_point != FaultSite::kPreForce;
+      for (Protocol protocol : options.protocols) {
+        for (std::uint64_t s = 1; s <= options.seeds_per_cell; ++s) {
+          DistSweepCase c;
+          c.plan = mix.plan;
+          c.protocol = protocol;
+          c.sites = sites;
+          c.sharded = options.sharded;
+          c.replicated = options.replicated;
+          c.transactions = options.transactions;
+          c.initial_balance = options.initial_balance;
+          // Seed identifies the cell, so no two cells share a stream.
+          c.plan.seed = s * 1000003ULL + static_cast<std::uint64_t>(sites) * 7919ULL +
+                        mix_index * 101ULL + static_cast<std::uint64_t>(protocol);
+          // Vary which pipeline arrival dies so early and late crashes
+          // both occur (0 disables the pinned crash).
+          c.plan.crash_at_arrival = pinned_crash ? 1 + (s % 6) : 0;
+          out.push_back(c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DistSweepSummary run_dist_sweep(const DistSweepOptions& options) {
+  DistSweepSummary summary;
+  for (const DistSweepCase& c : enumerate_dist_cases(options)) {
+    const DistCaseResult result = run_dist_case(c);
+    ++summary.cases;
+    summary.faults_injected += result.faults_injected;
+    summary.site_fails += result.site_fails;
+    summary.committed += result.committed;
+    summary.two_pc_commits += result.two_pc_commits;
+    summary.promoted_commits += result.promoted_commits;
+    if (!result.ok) summary.failures.push_back({c, result.failure});
+  }
+  return summary;
+}
+
+DistSweepCase minimize_dist_budget(
+    const DistSweepCase& failing,
+    const std::function<bool(const DistSweepCase&)>& still_fails) {
+  DistSweepCase probe = failing;
+  std::uint64_t hi = run_dist_case(failing).faults_injected;
+  probe.plan.max_faults = 0;
+  if (still_fails(probe)) return probe;  // needs no probabilistic faults
+
+  std::uint64_t lo = 0;
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    probe.plan.max_faults = mid;
+    if (still_fails(probe)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  probe.plan.max_faults = hi;
+  return probe;
+}
+
+}  // namespace argus

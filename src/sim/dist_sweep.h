@@ -1,0 +1,136 @@
+// Cross-site sweep driver: enumerate {site count x fault mix x seed},
+// run a deterministic bank workload over a sharded + replicated
+// DistRuntime with injected site churn and pipeline faults, recover
+// every failed site, and certify the outcome with the atomicity
+// checkers plus distributed invariant probes.
+//
+// Each case is single-threaded on purpose, exactly like the single-site
+// fault sweep (sim/fault_sweep.h): with one driver thread every injector
+// arrival, every Lamport stamp (per-site clocks draw from disjoint
+// residue classes) and every recorded event is a pure function of the
+// DistSweepCase, so re-running a case reproduces the merged cross-site
+// trace byte for byte — a failing configuration replays from its seed.
+//
+// Liveness is part of the schedule: the coordinator injector decides
+// site fail/recover per tick, and ticks run between transactions *and
+// between 2PC protocol steps*, so the sweep explores participants dying
+// after prepare, before the decision, and between deliveries.
+//
+// Certification per case, after the epilogue recovers every down site:
+//
+//   * conservation — the summed balance over every logical variable
+//     (one physical copy each) equals what the setup deposited; no
+//     partial 2PC, lost promotion, or catch-up slip may break it.
+//   * replica agreement — every copy of every replicated variable holds
+//     the same value at every site, and no replica diverged mid-run.
+//   * per-site log order / watermark coverage — each site's stable log
+//     is timestamp-sorted and covered, as in the single-site sweep.
+//   * formal checkers — each site's history AND the merged cross-site
+//     history (one activity per global transaction) are well-formed and
+//     satisfy the protocol's local atomicity property.
+//   * sentinels — each site's online checker saw no violation at any
+//     point, including mid-crash windows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sched/factory.h"
+
+namespace argus {
+
+/// One sweep configuration. Round-trips through
+/// to_dist_config_string/parse_dist_case (the corpus file format in
+/// tests/corpus/dist/).
+struct DistSweepCase {
+  FaultPlan plan;
+  Protocol protocol{Protocol::kHybrid};
+  int sites{2};
+  int sharded{4};     // sharded (single-copy) accounts, round-robin placed
+  int replicated{2};  // fully replicated accounts (one copy per site)
+  int transactions{24};
+  std::int64_t initial_balance{100};
+
+  friend bool operator==(const DistSweepCase&, const DistSweepCase&) = default;
+};
+
+/// Renders a case as `key value` lines ('#' comments allowed).
+[[nodiscard]] std::string to_dist_config_string(const DistSweepCase& c);
+
+/// Parses the to_dist_config_string format. Unknown keys and malformed
+/// lines are errors; returns false and sets *error.
+[[nodiscard]] bool parse_dist_case(const std::string& text, DistSweepCase* out,
+                                   std::string* error);
+
+/// Outcome of one case.
+struct DistCaseResult {
+  bool ok{false};
+  std::string failure;  // every failed probe/checker, newline-separated
+  std::string trace;    // merged cross-site dump + '#' fault-trace lines
+  std::uint64_t faults_injected{0};  // coordinator + all site injectors
+  std::uint64_t site_fails{0};
+  std::uint64_t site_recovers{0};
+  std::uint64_t committed{0};  // one-phase + 2PC + read-only
+  std::uint64_t two_pc_commits{0};
+  std::uint64_t aborted{0};
+  std::uint64_t promoted_commits{0};
+  std::uint64_t presumed_aborts{0};
+  std::uint64_t catchup_txns{0};
+};
+
+/// Runs one case start to finish: build the deployment, seed the bank,
+/// attach the fault plan, drive the workload (ticking liveness), recover
+/// every down site, certify. Deterministic: same case, same result,
+/// byte-equal merged trace.
+[[nodiscard]] DistCaseResult run_dist_case(const DistSweepCase& c);
+
+/// Sweep shape: every site count x every fault mix x every protocol x
+/// seeds_per_cell seeds.
+struct DistSweepOptions {
+  std::vector<int> site_counts{1, 2, 3, 4};
+  std::vector<Protocol> protocols{Protocol::kDynamic, Protocol::kHybrid};
+  std::uint64_t seeds_per_cell{5};
+  int sharded{4};
+  int replicated{2};
+  int transactions{24};
+  std::int64_t initial_balance{100};
+};
+
+/// The enumerated configurations (deterministic order; >= 200 with the
+/// defaults: 4 site counts x 5 mixes x 2 protocols x 5 seeds).
+[[nodiscard]] std::vector<DistSweepCase> enumerate_dist_cases(
+    const DistSweepOptions& options = {});
+
+struct DistSweepFailure {
+  DistSweepCase config;
+  std::string failure;
+};
+
+struct DistSweepSummary {
+  std::uint64_t cases{0};
+  std::uint64_t faults_injected{0};
+  std::uint64_t site_fails{0};
+  std::uint64_t committed{0};
+  std::uint64_t two_pc_commits{0};
+  std::uint64_t promoted_commits{0};
+  std::vector<DistSweepFailure> failures;
+
+  [[nodiscard]] bool all_ok() const { return failures.empty(); }
+};
+
+/// Runs every enumerated case and aggregates the verdicts.
+[[nodiscard]] DistSweepSummary run_dist_sweep(
+    const DistSweepOptions& options = {});
+
+/// Shrinks a failing case to the smallest fault budget that still
+/// reproduces it: binary search on plan.max_faults (site churn counts
+/// against the budget like every other fault class). `still_fails`
+/// decides reproduction (normally !run_dist_case(c).ok).
+[[nodiscard]] DistSweepCase minimize_dist_budget(
+    const DistSweepCase& failing,
+    const std::function<bool(const DistSweepCase&)>& still_fails);
+
+}  // namespace argus

@@ -46,6 +46,36 @@ void LamportClock::finish_commit(Timestamp ts) {
   }
 }
 
+void LamportClock::restamp_commit(Timestamp from, Timestamp to) {
+  {
+    const std::scoped_lock lock(mu_);
+    inflight_.erase(from);
+    inflight_.insert(to);
+    if (to > last_commit_) last_commit_ = to;
+  }
+  observe(to);
+  // Erasing `from` may have made another in-flight timestamp the minimum.
+  cv_.notify_all();
+  if (WaitPolicy* policy = policy_.load(std::memory_order_acquire)) {
+    policy->notify(&cv_);
+  }
+}
+
+void LamportClock::observe_committed(Timestamp ts) {
+  observe(ts);
+  {
+    const std::scoped_lock lock(mu_);
+    if (ts > last_commit_) last_commit_ = ts;
+    if (covered_locked(ts) && ts > watermark_.load(std::memory_order_relaxed)) {
+      watermark_.store(ts, std::memory_order_release);
+    }
+  }
+  cv_.notify_all();
+  if (WaitPolicy* policy = policy_.load(std::memory_order_acquire)) {
+    policy->notify(&cv_);
+  }
+}
+
 Timestamp LamportClock::read_only_begin() {
   std::unique_lock lock(mu_);
   const Timestamp ts = next();

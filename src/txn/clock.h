@@ -46,7 +46,36 @@ class LamportClock {
   LamportClock() = default;
 
   /// Next strictly increasing timestamp (starts at 1; 0 is reserved).
-  Timestamp next() { return counter_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  /// With a domain installed (set_domain), the result is additionally the
+  /// smallest timestamp above the current counter that is congruent to
+  /// `offset` mod `stride` — per-site clocks in the multi-site runtime
+  /// draw from disjoint residue classes, so timestamps are globally
+  /// unique without coordination (Lamport's site-id tiebreaker folded
+  /// into the numeric value).
+  Timestamp next() {
+    const std::uint64_t stride = stride_.load(std::memory_order_relaxed);
+    if (stride == 1) {
+      return counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    const std::uint64_t offset = offset_.load(std::memory_order_relaxed);
+    Timestamp cur = counter_.load(std::memory_order_relaxed);
+    for (;;) {
+      Timestamp t = (cur / stride) * stride + offset;
+      if (t <= cur) t += stride;
+      if (counter_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+        return t;
+      }
+    }
+  }
+
+  /// Restricts this clock's timestamps to the residue class
+  /// `offset` mod `stride` (offset < stride). Site i of an N-site
+  /// deployment uses (i, N). The default (0, 1) is the seed behaviour:
+  /// every timestamp, byte for byte. Set before concurrent use.
+  void set_domain(std::uint64_t offset, std::uint64_t stride) {
+    offset_.store(offset, std::memory_order_relaxed);
+    stride_.store(stride == 0 ? 1 : stride, std::memory_order_relaxed);
+  }
 
   /// Advances the clock so future timestamps exceed `observed` (message
   /// receipt in Lamport's scheme; timestamp-skew injection in ours).
@@ -73,6 +102,20 @@ class LamportClock {
   /// Retires an in-flight commit and advances the watermark past every
   /// timestamp with no in-flight commit at or below it.
   void finish_commit(Timestamp ts);
+
+  /// Re-stamps an in-flight commit from `from` to `to` (the 2PC decision:
+  /// a participant's proposed local timestamp is replaced by the
+  /// coordinator's global maximum). Safe because `from` is still in
+  /// flight — no commit between `from` and `to` can have applied — so the
+  /// apply order stays a timestamp order. Wakes turn-waiters whose
+  /// timestamp may have become the minimum.
+  void restamp_commit(Timestamp from, Timestamp to);
+
+  /// Records an externally decided commit timestamp (2PC outcome resolved
+  /// during site recovery): advances the clock past `ts` and, when no
+  /// in-flight commit at or below `ts` remains, the watermark too — so
+  /// read-only begins at a recovered site cover replayed commits.
+  void observe_committed(Timestamp ts);
 
   /// Draws a start timestamp for a read-only activity: a fresh timestamp
   /// t such that, on return, every commit with timestamp below t has
@@ -103,6 +146,8 @@ class LamportClock {
   }
 
   std::atomic<Timestamp> counter_{0};
+  std::atomic<std::uint64_t> offset_{0};
+  std::atomic<std::uint64_t> stride_{1};
   std::atomic<Timestamp> watermark_{0};
   std::atomic<WaitPolicy*> policy_{nullptr};
 

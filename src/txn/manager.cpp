@@ -66,6 +66,133 @@ std::shared_ptr<Transaction> TransactionManager::begin_with_timestamp(
   return t;
 }
 
+std::shared_ptr<Transaction> TransactionManager::begin_as(
+    ActivityId id, TxnKind kind, std::optional<Timestamp> start_ts) {
+  Timestamp ts;
+  if (start_ts.has_value()) {
+    clock_.observe(*start_ts);
+    if (kind == TxnKind::kReadOnly) clock_.wait_covered(*start_ts);
+    ts = *start_ts;
+  } else if (kind == TxnKind::kReadOnly) {
+    ts = clock_.read_only_begin();
+  } else {
+    ts = clock_.next();
+  }
+  auto t = std::make_shared<Transaction>(id, kind, ts);
+  {
+    const std::scoped_lock lock(mu_);
+    auto [it, inserted] = active_.emplace(id, t);
+    if (!inserted) {
+      if (it->second.lock() != nullptr) {
+        throw UsageError("begin_as: activity " + to_string(id) +
+                         " already active");
+      }
+      it->second = t;
+    }
+    ++stats_.begun;
+  }
+  return t;
+}
+
+std::optional<Timestamp> TransactionManager::prepare_2pc(
+    const std::shared_ptr<Transaction>& t) {
+  if (t->state() != TxnState::kActive) return std::nullopt;
+  if (t->doomed()) {
+    finish_abort(t, t->doom_reason());
+    return std::nullopt;
+  }
+  const std::vector<ManagedObject*> objects = t->touched();
+  for (ManagedObject* o : objects) {
+    if (o->needs_serial_validation(*t)) {
+      // Validate-at-commit needs the apply turn held across validation,
+      // which a participant cannot do while the decision is pending.
+      throw UsageError(
+          "prepare_2pc: validate-at-commit protocols (OCC/MVCC) are not "
+          "supported as 2PC participants");
+    }
+  }
+  try {
+    for (ManagedObject* o : objects) o->prepare(*t);
+  } catch (const TransactionAborted& e) {
+    finish_abort(t, e.reason());
+    return std::nullopt;
+  }
+  // Proposed commit timestamp: held in flight until the decision, so no
+  // later local commit can apply past it (the re-stamp in
+  // commit_prepared stays an order-preserving move).
+  const Timestamp ts = clock_.begin_commit();
+  FaultInjector* fault = fault_injector();
+  if (fault != nullptr) fault->maybe_crash(FaultSite::kPreForce);
+  if (t->doomed()) {
+    clock_.finish_commit(ts);
+    finish_abort(t, t->doom_reason());
+    return std::nullopt;
+  }
+  t->set_commit_ts(ts);
+  const AppendResult forced =
+      log_.force_prepared(build_record(*t, objects, ts));
+  if (forced != AppendResult::kForced) {
+    clock_.finish_commit(ts);
+    finish_abort(t, AbortReason::kIoError);
+    return std::nullopt;
+  }
+  return ts;
+}
+
+void TransactionManager::commit_prepared(const std::shared_ptr<Transaction>& t,
+                                         Timestamp global_ts) {
+  const Timestamp local_ts = t->commit_ts();
+  const std::vector<ManagedObject*> objects = t->touched();
+  if (local_ts != global_ts) {
+    clock_.restamp_commit(local_ts, global_ts);
+    t->set_commit_ts(global_ts);
+  }
+  log_.promote_prepared(t->id(), global_ts);
+  clock_.wait_for_turn(global_ts);
+  FaultInjector* fault = fault_injector();
+  bool first_apply = true;
+  for (ManagedObject* o : objects) {
+    // Same torn-apply crash window as the local pipeline; the promoted
+    // record is already stable, so recovery makes the apply whole.
+    if (!first_apply && fault != nullptr) {
+      fault->maybe_crash(FaultSite::kMidApply);
+    }
+    first_apply = false;
+    o->commit(*t, global_ts);
+  }
+  if (fault != nullptr) fault->maybe_crash(FaultSite::kPostApplyPreWatermark);
+  t->set_state(TxnState::kCommitted);
+  clock_.finish_commit(global_ts);
+  pipelined_commits_.fetch_add(1, std::memory_order_relaxed);
+  finish_commit_bookkeeping(t, objects);
+}
+
+void TransactionManager::abort_prepared(const std::shared_ptr<Transaction>& t,
+                                        AbortReason reason) {
+  log_.drop_prepared(t->id());
+  const Timestamp ts = t->commit_ts();
+  if (ts != kNoTimestamp) clock_.finish_commit(ts);
+  if (t->state() == TxnState::kActive) finish_abort(t, reason);
+}
+
+void TransactionManager::detach_prepared(
+    const std::shared_ptr<Transaction>& t) {
+  const Timestamp ts = t->commit_ts();
+  if (ts != kNoTimestamp) clock_.finish_commit(ts);
+  // Retire the volatile incarnation *silently* — no abort events. The
+  // global outcome is still open (or is a commit the coordinator will
+  // re-deliver through recovery), so recording <abort,x,a> here could
+  // contradict commit events recorded elsewhere and make the merged
+  // history ill-formed. The crash already reset the objects' volatile
+  // state; the prepared record carries everything recovery needs.
+  if (t->state() == TxnState::kActive) {
+    t->set_state(TxnState::kAborted);
+    detector_.remove(t->id());
+    const std::scoped_lock lock(mu_);
+    active_.erase(t->id());
+  }
+}
+
 void TransactionManager::commit(const std::shared_ptr<Transaction>& t) {
   // Scheduling point: commit order is a schedule choice, not an accident
   // of OS thread timing.
@@ -102,6 +229,31 @@ void TransactionManager::commit(const std::shared_ptr<Transaction>& t) {
     commit_pipelined(t, objects);
   }
 
+  finish_commit_bookkeeping(t, objects);
+}
+
+void TransactionManager::commit_read_only(
+    const std::shared_ptr<Transaction>& t) {
+  if (!t->read_only()) {
+    throw UsageError("commit_read_only on update transaction " +
+                     to_string(t->id()));
+  }
+  if (t->state() != TxnState::kActive) {
+    throw UsageError("commit of finished transaction " + to_string(t->id()));
+  }
+  if (t->doomed()) {
+    const AbortReason reason = t->doom_reason();
+    finish_abort(t, reason);
+    throw TransactionAborted(t->id(), reason);
+  }
+  // Past this point nothing can fail: a read-only commit installs no
+  // intentions, forces no log record, and carries no timestamp — each
+  // object just records its plain commit event. No validation either: a
+  // read-only transaction reads a watermark-covered snapshot, so there
+  // is nothing left to veto.
+  const std::vector<ManagedObject*> objects = t->touched();
+  for (ManagedObject* o : objects) o->commit(*t, kNoTimestamp);
+  t->set_state(TxnState::kCommitted);
   finish_commit_bookkeeping(t, objects);
 }
 

@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -107,11 +108,78 @@ class TransactionManager {
   std::shared_ptr<Transaction> begin_with_timestamp(TxnKind kind,
                                                     Timestamp start_ts);
 
+  /// Starts a transaction under a caller-assigned activity id — the
+  /// multi-site coordinator gives every per-site participant of one
+  /// global transaction the *same* id, so the merged cross-site history
+  /// has one activity per global transaction with no remapping. With
+  /// `start_ts`, the clock observes it (and read-only participants wait
+  /// for watermark coverage, preserving §4.3.3's snapshot invariant at
+  /// every site); without, a fresh local timestamp is drawn. Throws
+  /// UsageError if `id` is already active here.
+  std::shared_ptr<Transaction> begin_as(
+      ActivityId id, TxnKind kind,
+      std::optional<Timestamp> start_ts = std::nullopt);
+
+  // --- 2PC participant role ---------------------------------------------
+  //
+  // The multi-site coordinator (dist/DistRuntime) drives one local
+  // transaction per participating site through:
+  //
+  //   prepare_2pc      — validate at every touched object, register a
+  //                      *proposed* commit timestamp in the clock's
+  //                      in-flight table, and force a prepared record
+  //                      (write-ahead). Returns the proposal, or nullopt
+  //                      on a veto (the local transaction is then already
+  //                      aborted — the coordinator must abort globally).
+  //   commit_prepared  — the decision arrived: re-stamp the in-flight
+  //                      entry to the coordinator's global timestamp
+  //                      (max of all proposals), promote the prepared
+  //                      record, and apply behind this site's watermark
+  //                      exactly like a local commit.
+  //   abort_prepared   — the decision was abort: discard the prepared
+  //                      record and unwind.
+  //   detach_prepared  — the site crashed while prepared: retire the
+  //                      volatile state but leave the prepared record in
+  //                      the (stable) log for recovery-time resolution.
+
+  /// Phase 1. On success the transaction stays active, holding an
+  /// in-flight clock entry at the returned proposed timestamp and a
+  /// prepared log record; the caller must follow with exactly one of
+  /// commit_prepared / abort_prepared / detach_prepared.
+  std::optional<Timestamp> prepare_2pc(const std::shared_ptr<Transaction>& t);
+
+  /// Phase 2, commit. `global_ts` is the coordinator's decision
+  /// timestamp (>= the local proposal; equal for single-participant
+  /// groups). Applies in timestamp order behind this site's watermark.
+  void commit_prepared(const std::shared_ptr<Transaction>& t,
+                       Timestamp global_ts);
+
+  /// Phase 2, abort.
+  void abort_prepared(const std::shared_ptr<Transaction>& t,
+                      AbortReason reason = AbortReason::kUser);
+
+  /// The participant site failed between prepare and decision delivery:
+  /// release the clock entry and volatile state, keep the prepared
+  /// record. Site recovery resolves it against the coordinator.
+  void detach_prepared(const std::shared_ptr<Transaction>& t);
+
   /// Commits across all touched objects via the staged pipeline (or the
   /// single-mutex path, per commit_mode). Throws TransactionAborted
   /// (after performing the abort) if the transaction was doomed, an
   /// object vetoed in prepare, or a crash discarded its log record.
   void commit(const std::shared_ptr<Transaction>& t);
+
+  /// Commits a read-only transaction without the pipeline: a hybrid
+  /// read-only commit is pure event recording — no intentions to apply,
+  /// no log record, no commit timestamp — so once the transaction is
+  /// known not to be doomed this cannot fail. Cross-site coordinators
+  /// rely on that: commit/abort events are tracked per activity across
+  /// the merged history, so a read-only transaction spanning sites must
+  /// commit everywhere or nowhere, with no participant able to fail
+  /// between the first commit event and the last. Throws UsageError if
+  /// the transaction is not read-only, TransactionAborted (after
+  /// aborting) if it was doomed.
+  void commit_read_only(const std::shared_ptr<Transaction>& t);
 
   /// Aborts at every touched object. Idempotent on finished transactions.
   void abort(const std::shared_ptr<Transaction>& t,

@@ -174,6 +174,82 @@ AppendResult StableLog::append_group(CommitLogRecord record) {
   }
 }
 
+AppendResult StableLog::force_prepared(CommitLogRecord record) {
+  WaitPolicy* policy = policy_.load(std::memory_order_acquire);
+  FaultInjector* fault = fault_.load(std::memory_order_acquire);
+  std::chrono::microseconds base_delay;
+  {
+    const std::scoped_lock lock(mu_);
+    base_delay = force_delay_;
+  }
+  std::uint32_t attempts = 0;
+  for (;;) {
+    FaultInjector::ForceDecision decision;
+    if (fault != nullptr) decision = fault->on_force(1);
+    const auto delay =
+        base_delay + std::chrono::microseconds(decision.latency_us);
+    sleep_for_us(policy, delay.count());
+    if (decision.fail) {
+      {
+        const std::scoped_lock lock(mu_);
+        ++stats_.force_failures;
+      }
+      if (attempts >= decision.max_retries) return AppendResult::kIoError;
+      ++attempts;
+      const auto backoff =
+          std::chrono::microseconds(decision.retry_backoff_us) * attempts;
+      sleep_for_us(policy, backoff.count());
+      continue;
+    }
+    break;
+  }
+  const std::scoped_lock lock(mu_);
+  ++stats_.forces;
+  ++stats_.prepared_forces;
+  prepared_.push_back(std::move(record));
+  return AppendResult::kForced;
+}
+
+bool StableLog::promote_prepared(ActivityId txn, Timestamp commit_ts) {
+  const std::scoped_lock lock(mu_);
+  for (auto it = prepared_.begin(); it != prepared_.end(); ++it) {
+    if (it->txn == txn) {
+      CommitLogRecord record = std::move(*it);
+      prepared_.erase(it);
+      record.commit_ts = commit_ts;
+      insert_forced_locked(std::move(record));
+      ++stats_.records_forced;
+      ++stats_.prepared_promoted;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StableLog::drop_prepared(ActivityId txn) {
+  const std::scoped_lock lock(mu_);
+  for (auto it = prepared_.begin(); it != prepared_.end(); ++it) {
+    if (it->txn == txn) {
+      prepared_.erase(it);
+      ++stats_.prepared_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CommitLogRecord> StableLog::prepared_records() const {
+  const std::scoped_lock lock(mu_);
+  return prepared_;
+}
+
+void StableLog::adopt_record(CommitLogRecord record) {
+  const std::scoped_lock lock(mu_);
+  insert_forced_locked(std::move(record));
+  ++stats_.records_forced;
+  ++stats_.records_adopted;
+}
+
 void StableLog::drop_pending() {
   {
     const std::scoped_lock lock(mu_);
@@ -226,6 +302,7 @@ std::size_t StableLog::size() const {
 void StableLog::clear() {
   const std::scoped_lock lock(mu_);
   records_.clear();
+  prepared_.clear();
 }
 
 }  // namespace argus

@@ -104,8 +104,45 @@ class StableLog {
   [[nodiscard]] AppendResult append_group(CommitLogRecord record);
 
   /// Crash path: discards every record not yet forced and fails its
-  /// waiting append_group() call. Records already forced are untouched.
+  /// waiting append_group() call. Records already forced are untouched —
+  /// including prepared records (force_prepared), which is the point of
+  /// 2PC: a prepared participant that crashes can still learn the
+  /// outcome after recovery.
   void drop_pending();
+
+  // --- 2PC participant records ------------------------------------------
+  //
+  // Prepare forces the record under the participant's *proposed* local
+  // timestamp, but the record is not yet committed: it sits in a separate
+  // prepared set until the coordinator's decision arrives. promote moves
+  // it into the committed log re-stamped with the global decision
+  // timestamp; drop discards it (abort, or presumed abort on recovery).
+  // Both survive crash() / drop_pending(), exactly like forced records.
+
+  /// Forces a prepared record to stable storage. Pays the force latency
+  /// and consults the fault injector (a prepare force can fail like any
+  /// other force — the participant then vetoes). kDropped is never
+  /// returned: the prepare force is its own storage round trip, not part
+  /// of a group batch.
+  [[nodiscard]] AppendResult force_prepared(CommitLogRecord record);
+
+  /// Commits a prepared record: moves it into the committed log with
+  /// commit_ts replaced by the coordinator's decision timestamp. Returns
+  /// false if no prepared record for `txn` exists (already resolved).
+  bool promote_prepared(ActivityId txn, Timestamp commit_ts);
+
+  /// Discards a prepared record (coordinator abort / presumed abort).
+  /// Returns false if no prepared record for `txn` exists.
+  bool drop_prepared(ActivityId txn);
+
+  /// Snapshot of prepared (undecided) records — what recovery must
+  /// resolve against the coordinator before replaying the log.
+  [[nodiscard]] std::vector<CommitLogRecord> prepared_records() const;
+
+  /// Inserts an already-decided record directly into the committed log
+  /// (the recovery catch-up copier replicating missed writes from a live
+  /// peer's log).
+  void adopt_record(CommitLogRecord record);
 
   /// Simulated per-force storage latency (fsync cost). The flush leader
   /// pays it once for the whole batch. Default: zero.
@@ -138,6 +175,10 @@ class StableLog {
     std::uint64_t force_failures{0}; // injected transient force failures
     std::uint64_t torn_forces{0};    // forces that stabilized a strict prefix
     std::uint64_t records_requeued{0};  // tail records sent back to the queue
+    std::uint64_t prepared_forces{0};   // 2PC prepare records forced
+    std::uint64_t prepared_promoted{0};
+    std::uint64_t prepared_dropped{0};
+    std::uint64_t records_adopted{0};   // catch-up records copied from a peer
   };
   [[nodiscard]] GroupStats group_stats() const;
 
@@ -166,6 +207,7 @@ class StableLog {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<CommitLogRecord> records_;       // forced, commit_ts-sorted
+  std::vector<CommitLogRecord> prepared_;      // forced, awaiting 2PC decision
   std::vector<std::shared_ptr<Slot>> queue_;   // awaiting force
   bool flush_active_{false};
   bool hold_flushes_{false};

@@ -1,0 +1,382 @@
+// Multi-site runtime tests: 2PC happy path and coordinator aborts,
+// available-copies read/write semantics, the failure rule, stale-read
+// prevention after recovery, and cross-site certification of the merged
+// history. Replaces the old remote_object_test (simulated RPC latency on
+// a single runtime) — sites are now full runtimes with their own commit
+// pipelines and stable logs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/atomicity.h"
+#include "dist/dist_runtime.h"
+#include "hist/parse.h"
+#include "hist/wellformed.h"
+#include "spec/adts/bank_account.h"
+
+namespace argus {
+namespace {
+
+// DistRuntime holds mutexes (not movable); build behind a unique_ptr.
+std::unique_ptr<DistRuntime> make_bank(
+    std::size_t sites, Protocol protocol,
+    std::initializer_list<const char*> sharded,
+    std::initializer_list<const char*> replicated) {
+  DistOptions options;
+  options.sites = sites;
+  options.protocol = protocol;
+  auto dist = std::make_unique<DistRuntime>(options);
+  for (const char* name : sharded) {
+    dist->create_sharded<BankAccountAdt>(name);
+  }
+  for (const char* name : replicated) {
+    dist->create_replicated<BankAccountAdt>(name);
+  }
+  return dist;
+}
+
+std::int64_t read_balance(DistRuntime& dist, const std::string& var) {
+  const auto t = dist.begin();
+  const std::int64_t v = dist.read(*t, var, account::balance()).as_int();
+  dist.commit(t);
+  return v;
+}
+
+void certify_merged(DistRuntime& dist) {
+  const History h = dist.merged_history();
+  if (dist.protocol() == Protocol::kDynamic) {
+    const auto wf = check_well_formed(h);
+    EXPECT_TRUE(wf.ok()) << wf.summary();
+    const auto verdict = check_dynamic_atomic(dist.merged_system(), h);
+    EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  } else {
+    const auto wf = check_well_formed_hybrid(h, dist.read_only_activities());
+    EXPECT_TRUE(wf.ok()) << wf.summary();
+    const auto verdict = check_hybrid_atomic(dist.merged_system(), h);
+    EXPECT_TRUE(verdict.ok) << verdict.explanation;
+  }
+}
+
+TEST(DistRuntime, TwoPhaseCommitHappyPath) {
+  // s0 lives at site 0, s1 at site 1 (round-robin); a transfer between
+  // them opens a participant at each site and must go through 2PC.
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+    EXPECT_EQ(t->participants(), (std::vector<std::size_t>{0, 1}));
+  }
+  {
+    const auto t = dist.begin();
+    EXPECT_TRUE(dist.write(*t, "s0", account::withdraw(30)).is_unit());
+    dist.write(*t, "s1", account::deposit(30));
+    dist.commit(t);
+  }
+  EXPECT_EQ(read_balance(dist, "s0"), 70);
+  EXPECT_EQ(read_balance(dist, "s1"), 130);
+
+  const DistStats stats = dist.stats();
+  EXPECT_EQ(stats.two_pc_commits, 2u);  // setup + transfer
+  EXPECT_EQ(stats.aborts, 0u);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, SingleParticipantCommitsAreOnePhase) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(50));
+    dist.commit(t);
+  }
+  const DistStats stats = dist.stats();
+  EXPECT_EQ(stats.one_phase_commits, 1u);
+  EXPECT_EQ(stats.two_pc_commits, 0u);
+  EXPECT_EQ(read_balance(dist, "s0"), 50);
+}
+
+TEST(DistRuntime, PrepareVetoAbortsAtEveryParticipant) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+
+  // Every log force fails from here on: the first participant's prepare
+  // cannot stabilize its record, so the coordinator must abort the
+  // global transaction at both sites.
+  FaultPlan plan;
+  plan.force_fail_permille = 1000;
+  plan.force_max_retries = 0;
+  plan.force_retry_backoff_us = 0;
+  dist.set_fault_plan(plan);
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::withdraw(10));
+    dist.write(*t, "s1", account::deposit(10));
+    EXPECT_THROW(dist.commit(t), TransactionAborted);
+  }
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    dist.site(i).runtime().set_fault_injector(nullptr);
+  }
+
+  EXPECT_EQ(read_balance(dist, "s0"), 100);
+  EXPECT_EQ(read_balance(dist, "s1"), 100);
+  const DistStats stats = dist.stats();
+  EXPECT_EQ(stats.two_pc_commits, 1u);
+  EXPECT_GE(stats.aborts, 1u);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, MidCommitSiteFailureVetoesTheTransaction) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+
+  // The coordinator injector fails a site at the first liveness tick —
+  // which the 2PC runs *inside* the protocol, before the first prepare.
+  FaultPlan plan;
+  plan.site_fail_permille = 1000;
+  plan.max_faults = 1;
+  dist.set_fault_plan(plan);
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::withdraw(10));
+    dist.write(*t, "s1", account::deposit(10));
+    try {
+      dist.commit(t);
+      FAIL() << "commit with a failed participant must abort";
+    } catch (const TransactionAborted& e) {
+      EXPECT_EQ(e.reason(), AbortReason::kUnavailable);
+    }
+  }
+  const DistStats stats = dist.stats();
+  EXPECT_EQ(stats.site_fails, 1u);
+  EXPECT_GE(stats.unavailable_aborts, 1u);
+
+  // Recover the failed site; the aborted transfer left no trace in the
+  // balances, and the merged history still certifies.
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    dist.site(i).runtime().set_fault_injector(nullptr);
+    if (!dist.site(i).up()) {
+      EXPECT_TRUE(dist.recover(i));
+    }
+  }
+  EXPECT_EQ(read_balance(dist, "s0"), 100);
+  EXPECT_EQ(read_balance(dist, "s1"), 100);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, AvailableCopiesServeReadsWhileAnyReplicaLives) {
+  const auto distp = make_bank(3, Protocol::kHybrid, {}, {"r0"});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "r0", account::deposit(100));
+    dist.commit(t);
+  }
+
+  // Two of three sites fail: reads keep being served by the survivor,
+  // and writes apply to it alone.
+  EXPECT_TRUE(dist.fail(1));
+  EXPECT_TRUE(dist.fail(2));
+  EXPECT_EQ(read_balance(dist, "r0"), 100);
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "r0", account::deposit(10));
+    dist.commit(t);
+    EXPECT_EQ(t->participants(), (std::vector<std::size_t>{0}));
+  }
+  EXPECT_EQ(read_balance(dist, "r0"), 110);
+
+  // The last copy goes: unavailable.
+  EXPECT_TRUE(dist.fail(0));
+  {
+    const auto t = dist.begin();
+    try {
+      dist.read(*t, "r0", account::balance());
+      FAIL() << "no live copy: read must abort";
+    } catch (const TransactionAborted& e) {
+      EXPECT_EQ(e.reason(), AbortReason::kUnavailable);
+    }
+  }
+  EXPECT_GE(dist.stats().unavailable_aborts, 1u);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, StaleReadPreventionAfterRecover) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {}, {"r0"});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "r0", account::deposit(100));
+    dist.commit(t);
+  }
+
+  // Site 1 misses a committed write, then recovers: the catch-up copier
+  // restores its copy's *state*, but the copy stays unreadable.
+  EXPECT_TRUE(dist.fail(1));
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "r0", account::deposit(50));
+    dist.commit(t);
+  }
+  EXPECT_TRUE(dist.recover(1));
+  EXPECT_GE(dist.stats().catchup_txns, 1u);
+  const Replica* copy1 = dist.placement().find("r0")->replica_at(1);
+  ASSERT_NE(copy1, nullptr);
+  EXPECT_FALSE(copy1->readable.load());
+
+  // The state did catch up (the administrative dump bypasses the
+  // stale-read rule and sees both copies at 150)...
+  for (const auto& entry : dist.dump(account::balance())) {
+    EXPECT_EQ(entry.value.as_int(), 150) << "site " << entry.site;
+  }
+
+  // ...but a client read must not be served from the recovered copy: with
+  // site 0 down it has no readable copy to fall back on, even though site
+  // 1 is up and current.
+  EXPECT_TRUE(dist.fail(0));
+  {
+    const auto t = dist.begin();
+    try {
+      dist.read(*t, "r0", account::balance());
+      FAIL() << "recovered copy must not serve reads before a fresh write";
+    } catch (const TransactionAborted& e) {
+      EXPECT_EQ(e.reason(), AbortReason::kUnavailable);
+    }
+  }
+  EXPECT_TRUE(dist.recover(0));
+
+  // The next committed client write restores readability (it provably
+  // made the copy current), and the copy then serves reads alone.
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "r0", account::deposit(25));
+    dist.commit(t);
+  }
+  EXPECT_TRUE(copy1->readable.load());
+  EXPECT_TRUE(dist.fail(0));
+  EXPECT_EQ(read_balance(dist, "r0"), 175);
+  EXPECT_TRUE(dist.recover(0));
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, ReadOnlyAuditSpansSitesAtOneSnapshot) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {"r0"});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    for (const char* name : {"s0", "s1", "r0"}) {
+      dist.write(*t, name, account::deposit(100));
+    }
+    dist.commit(t);
+  }
+  {
+    const auto audit = dist.begin(TxnKind::kReadOnly);
+    std::int64_t total = 0;
+    for (const char* name : {"s0", "s1", "r0"}) {
+      total += dist.read(*audit, name, account::balance()).as_int();
+    }
+    dist.commit(audit);
+    EXPECT_EQ(total, 300);
+    EXPECT_NE(audit->snapshot_ts(), kNoTimestamp);
+    EXPECT_EQ(audit->participants().size(), 2u);
+  }
+  EXPECT_EQ(dist.stats().read_only_commits, 1u);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, ReadOnlyNeedsSnapshotProtocol) {
+  const auto distp = make_bank(2, Protocol::kDynamic, {"s0"}, {});
+  DistRuntime& dist = *distp;
+  EXPECT_THROW(dist.begin(TxnKind::kReadOnly), UsageError);
+}
+
+TEST(DistRuntime, DynamicProtocolRunsTheSameDeployment) {
+  const auto distp = make_bank(2, Protocol::kDynamic, {"s0", "s1"}, {"r0"});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    for (const char* name : {"s0", "s1", "r0"}) {
+      dist.write(*t, name, account::deposit(100));
+    }
+    dist.commit(t);
+  }
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::withdraw(40));
+    dist.write(*t, "r0", account::deposit(40));
+    dist.commit(t);
+  }
+  EXPECT_EQ(read_balance(dist, "s0"), 60);
+  EXPECT_EQ(read_balance(dist, "r0"), 140);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, MergedTraceParsesBackToTheMergedHistory) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {"r0"});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    for (const char* name : {"s0", "s1", "r0"}) {
+      dist.write(*t, name, account::deposit(100));
+    }
+    dist.commit(t);
+  }
+  // A fault plan so the trace carries '#' fault-comment lines too.
+  FaultPlan plan;
+  plan.site_fail_permille = 1000;
+  plan.site_recover_permille = 1000;
+  plan.max_faults = 2;
+  dist.set_fault_plan(plan);
+  dist.tick_site_faults();  // both sites roll a fail; the budget covers both
+  EXPECT_EQ(dist.stats().site_fails, 2u);
+  dist.tick_site_faults();  // budget exhausted: no injected recovery
+  EXPECT_EQ(dist.stats().site_recovers, 0u);
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    EXPECT_TRUE(dist.recover(i));
+  }
+  EXPECT_EQ(dist.stats().site_recovers, 2u);
+
+  const std::string trace = dist.merged_trace();
+  EXPECT_NE(trace.find("site0: "), std::string::npos);
+  EXPECT_NE(trace.find("# coord "), std::string::npos);
+
+  const ParseResult parsed = parse_history(trace);
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  const History merged = dist.merged_history();
+  ASSERT_EQ(parsed.history->events().size(), merged.events().size());
+  for (std::size_t i = 0; i < merged.events().size(); ++i) {
+    EXPECT_EQ(parsed.history->events()[i], merged.events()[i]) << "event " << i;
+  }
+}
+
+TEST(DistRuntime, UsageErrorsAreUsageErrors) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0"}, {});
+  DistRuntime& dist = *distp;
+  EXPECT_THROW(dist.create_sharded<BankAccountAdt>("s0"), UsageError);
+  const auto t = dist.begin();
+  EXPECT_THROW(dist.read(*t, "nope", account::balance()), UsageError);
+  const auto audit = dist.begin(TxnKind::kReadOnly);
+  EXPECT_THROW(dist.write(*audit, "s0", account::deposit(1)), UsageError);
+  dist.abort(t);
+  dist.abort(audit);
+  EXPECT_THROW(dist.commit(t), UsageError);
+}
+
+}  // namespace
+}  // namespace argus

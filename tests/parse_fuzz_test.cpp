@@ -94,6 +94,59 @@ TEST(ParseFuzz, FaultCommentLinesAreIgnored) {
   }
 }
 
+TEST(ParseFuzz, SiteStampedMergedTracesRoundTrip) {
+  // DistRuntime::merged_trace() renders every event with its origin
+  // site ("site2: commit a7 ...") and interleaves site fail/recover
+  // fault comments ("# site1 fail ...", "# coord ..."). The parser must
+  // strip the site stamp and skip the fault lines, leaving exactly the
+  // merged history — dist corpus byte-for-byte replay depends on it.
+  const SystemSpec system = two_object_system();
+  SplitMix64 salt_rng(777);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomHistoryOptions options;
+    options.activities = 3;
+    options.ops_per_activity = 3;
+    options.abort_percent = 20;
+    options.seed = seed * 31 + 7;
+    const History h = random_atomic_history(system, options);
+
+    std::istringstream in(h.to_string());
+    std::ostringstream merged;
+    merged << "# merged cross-site trace (seed " << seed << ")\n";
+    std::string line;
+    while (std::getline(in, line)) {
+      // Stamp each event with a pseudo-random origin site.
+      merged << "site" << salt_rng.below(4) << ": " << line << "\n";
+      switch (salt_rng.below(5)) {
+        case 0:
+          merged << "# site" << salt_rng.below(4) << " fail arrival="
+                 << salt_rng.below(100) << "\n";
+          break;
+        case 1:
+          merged << "# site" << salt_rng.below(4) << " recover\n";
+          break;
+        case 2:
+          merged << "# coord fault force-fail arrival=" << salt_rng.below(50)
+                 << "\n";
+          break;
+        default:
+          break;
+      }
+    }
+    expect_round_trip(h, merged.str());
+  }
+}
+
+TEST(ParseFuzz, SiteStampRequiresTheExactShape) {
+  // "siteN:" is only a stamp when it is the word "site", digits, and a
+  // colon; anything else must still parse as (or fail as) an ordinary
+  // event line, not be silently stripped.
+  const ParseResult bad = parse_history("sitex: <deposit(3),x,a>\n");
+  EXPECT_FALSE(bad.history.has_value());
+  const ParseResult spaced = parse_history("site 2: <deposit(3),x,a>\n");
+  EXPECT_FALSE(spaced.history.has_value());
+}
+
 TEST(ParseFuzz, TimestampedEventsRoundTrip) {
   // The random generator produces the dynamic flavor; cover the
   // timestamped initiate/commit forms (static and hybrid histories)
