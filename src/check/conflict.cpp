@@ -1,0 +1,57 @@
+#include "check/conflict.h"
+
+namespace argus {
+
+const char* to_string(PairCommutativity c) {
+  switch (c) {
+    case PairCommutativity::kAlways:
+      return "always";
+    case PairCommutativity::kStateDependent:
+      return "state-dependent";
+    case PairCommutativity::kNever:
+      return "never";
+  }
+  return "?";
+}
+
+PairCommutativity ConflictRelation::classify(ObjectId x, const Operation& p,
+                                             const Operation& q) const {
+  const PairKey key = q < p ? PairKey{q, p} : PairKey{p, q};
+  {
+    const std::scoped_lock lock(mu_);
+    ++queries_;
+    auto obj_it = memo_.find(x);
+    if (obj_it != memo_.end()) {
+      auto it = obj_it->second.find(key);
+      if (it != obj_it->second.end()) return it->second;
+    }
+  }
+  // Probe outside the lock: the spec probe clones states and can recurse
+  // through forward_commutes; concurrent probes of the same pair are
+  // benign (both compute the same answer).
+  const SequentialSpec& spec = system_.spec_of(x);
+  PairCommutativity result;
+  if (spec.static_commutes(p, q)) {
+    result = PairCommutativity::kAlways;
+  } else if (spec.state_dependent_commutes(p, q)) {
+    result = PairCommutativity::kStateDependent;
+  } else {
+    result = PairCommutativity::kNever;
+  }
+  const std::scoped_lock lock(mu_);
+  ++probes_;
+  memo_[x].emplace(key, result);
+  return result;
+}
+
+std::uint64_t ConflictRelation::probes() const {
+  const std::scoped_lock lock(mu_);
+  return probes_;
+}
+
+std::uint64_t ConflictRelation::queries() const {
+  const std::scoped_lock lock(mu_);
+  return queries_;
+}
+
+}  // namespace argus

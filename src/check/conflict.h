@@ -1,0 +1,83 @@
+// ConflictRelation: the per-object commutativity of a system surfaced as
+// a queryable, memoized conflict relation.
+//
+// The admission controllers consult commutativity operation pair by
+// operation pair (static_commutes for the scheduler-model baselines,
+// forward_commutes for the data-dependent protocols). The vector-clock
+// fast path (vc_atomicity.h) needs the same information as a relation it
+// can query millions of times per second, so this wrapper classifies each
+// pair once per object type and caches the answer:
+//
+//   kAlways         p and q commute in every state — reordering them can
+//                   never change any result or final state, so the fast
+//                   path may fold them out of canonical order.
+//   kStateDependent p and q commute in some states only — the paper's
+//                   data-dependent fragment (§5.1: two withdraws, bag
+//                   removes, ...). Not expressible as a static conflict
+//                   relation; a mis-ordered occurrence is SUSPICIOUS, not
+//                   a proven violation.
+//   kNever          p and q commute in no sampled state — a mis-ordered
+//                   occurrence can only be certified or refuted by exact
+//                   replay, like kStateDependent, but the distinction is
+//                   kept for diagnostics and metrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "check/system.h"
+#include "common/operation.h"
+
+namespace argus {
+
+enum class PairCommutativity {
+  kAlways,
+  kStateDependent,
+  kNever,
+};
+
+[[nodiscard]] const char* to_string(PairCommutativity c);
+
+class ConflictRelation {
+ public:
+  /// Snapshots `system` (the specs are shared, so this is cheap).
+  explicit ConflictRelation(const SystemSpec& system) : system_(system) {}
+
+  /// Classifies the pair at object x. Memoized; thread-safe.
+  [[nodiscard]] PairCommutativity classify(ObjectId x, const Operation& p,
+                                           const Operation& q) const;
+
+  /// True iff p and q do not commute in every state (the conflict edge the
+  /// vector clocks track).
+  [[nodiscard]] bool conflicts(ObjectId x, const Operation& p,
+                               const Operation& q) const {
+    return classify(x, p, q) != PairCommutativity::kAlways;
+  }
+
+  /// True iff the pair's conflict behaviour is data-dependent.
+  [[nodiscard]] bool data_dependent(ObjectId x, const Operation& p,
+                                    const Operation& q) const {
+    return classify(x, p, q) == PairCommutativity::kStateDependent;
+  }
+
+  [[nodiscard]] const SystemSpec& system() const { return system_; }
+
+  /// Pairs classified the slow way (spec probe) vs answered from cache.
+  [[nodiscard]] std::uint64_t probes() const;
+  [[nodiscard]] std::uint64_t queries() const;
+
+ private:
+  // Cache key: operations ordered so (p,q) and (q,p) share an entry —
+  // both static and state-dependent commutativity are symmetric.
+  using PairKey = std::pair<Operation, Operation>;
+
+  SystemSpec system_;
+  mutable std::mutex mu_;
+  mutable std::map<ObjectId, std::map<PairKey, PairCommutativity>> memo_;
+  mutable std::uint64_t probes_{0};
+  mutable std::uint64_t queries_{0};
+};
+
+}  // namespace argus

@@ -132,6 +132,37 @@ History random_atomic_history(const SystemSpec& system,
     }
   }
 
+  // Timestamp decoration: stamps encode the ground-truth serial order
+  // (rank in `order`), so the canonical serialization order of a clean
+  // stamped history is exactly the order the results were computed in.
+  if (options.stamps != StampDiscipline::kNone) {
+    Timestamp rank = 0;
+    for (ActivityId a : order) {
+      ++rank;
+      std::vector<Event>& events = script[a];
+      if (events.empty()) continue;
+      bool read_only = true;
+      for (const Event& e : events) {
+        if (e.kind == EventKind::kInvoke &&
+            !system.spec_of(e.object).is_read_only(e.operation)) {
+          read_only = false;
+          break;
+        }
+      }
+      const bool stamp_initiation =
+          options.stamps == StampDiscipline::kInitiation ||
+          (options.stamps == StampDiscipline::kHybrid && read_only);
+      if (stamp_initiation) {
+        events.insert(events.begin(),
+                      initiate(events.front().object, a, rank));
+      } else {
+        for (Event& e : events) {
+          if (e.kind == EventKind::kCommit) e.timestamp = rank;
+        }
+      }
+    }
+  }
+
   // Random interleaving preserving each activity's event order. This
   // keeps the history well-formed: invocations stay before their
   // responses and commits stay last per activity. contiguity_percent

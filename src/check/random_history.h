@@ -19,6 +19,28 @@
 
 namespace argus {
 
+/// How generated histories carry serialization timestamps — one shape
+/// per family of CC protocols, so checker tests can sweep the modes:
+///
+///   kNone        dynamic / 2PL: no timestamps; activities serialize at
+///                their first commit position.
+///   kInitiation  static atomicity: every activity carries an initiation
+///                event stamped with its serial rank.
+///   kHybrid      hybrid atomicity: read-only activities initiate with a
+///                stamp, update activities get timestamped commits.
+///   kCommit      OCC / MVCC certification stamps: every committed
+///                activity's commit events carry its serial rank.
+///
+/// Stamps encode the generator's ground-truth serial order, so a clean
+/// stamped history is serializable in its canonical order by
+/// construction.
+enum class StampDiscipline {
+  kNone,
+  kInitiation,
+  kHybrid,
+  kCommit,
+};
+
 struct RandomHistoryOptions {
   int activities{3};
   int ops_per_activity{3};
@@ -33,6 +55,8 @@ struct RandomHistoryOptions {
   /// open as concurrency rises.
   int contiguity_percent{0};
   std::uint64_t seed{1};
+  /// Timestamp decoration applied to the generated history.
+  StampDiscipline stamps{StampDiscipline::kNone};
 };
 
 /// Draws a random operation suitable for the named ADT. Arguments are

@@ -40,11 +40,29 @@ std::map<ObjectId, std::vector<std::unique_ptr<SpecState>>> clone_states(
 
 }  // namespace
 
+const char* to_string(CheckMode m) {
+  switch (m) {
+    case CheckMode::kExact:
+      return "exact";
+    case CheckMode::kVectorClock:
+      return "vector-clock";
+    case CheckMode::kEscalating:
+      return "escalating";
+  }
+  return "?";
+}
+
 AtomicitySentinel::AtomicitySentinel(FlightRecorder& recorder,
                                      const SystemSpec& system,
                                      SentinelOptions options,
                                      MetricsRegistry* metrics)
     : recorder_(recorder), system_(system), options_(std::move(options)) {
+  if (options_.mode != CheckMode::kExact) {
+    VcCheckerOptions vc;
+    vc.escalate = options_.mode == CheckMode::kEscalating;
+    vc.checkpoint_threshold = options_.checkpoint_threshold;
+    vc_ = std::make_unique<VectorClockChecker>(system_, vc);
+  }
   if (metrics != nullptr) {
     violations_metric_ = &metrics->counter(
         "argus_sentinel_violations_total",
@@ -59,6 +77,18 @@ AtomicitySentinel::AtomicitySentinel(FlightRecorder& recorder,
     stragglers_metric_ = &metrics->counter(
         "argus_sentinel_stragglers_total",
         "activities that committed below an already-folded checkpoint");
+    fastpath_windows_metric_ = &metrics->counter(
+        "argus_sentinel_fastpath_windows_total",
+        "windows certified by the vector-clock fast path alone");
+    escalations_metric_ = &metrics->counter(
+        "argus_sentinel_escalations_total",
+        "suspicious windows escalated to an exact canonical re-replay");
+    suspicious_metric_ =
+        &metrics->counter("argus_sentinel_suspicious_total",
+                          "activities flagged suspicious by the fast path");
+    vc_ops_metric_ = &metrics->counter(
+        "argus_sentinel_vc_ops_total",
+        "conflict-relation consults and vector-clock joins performed");
   }
 }
 
@@ -97,6 +127,35 @@ void AtomicitySentinel::stop() {
     const std::scoped_lock lock(thread_mu_);
     running_ = false;
   }
+  finalize();
+}
+
+void AtomicitySentinel::finalize() {
+  poll();
+  if (vc_ == nullptr) return;
+  std::vector<std::string> found;
+  {
+    const std::scoped_lock lock(mu_);
+    vc_->finish();
+    sync_vc_stats();
+    found.swap(pending_hooks_);
+  }
+  if (options_.on_violation) {
+    for (const std::string& explanation : found) {
+      options_.on_violation(explanation);
+    }
+  }
+}
+
+void AtomicitySentinel::set_window(std::chrono::milliseconds window) {
+  const std::scoped_lock lock(thread_mu_);
+  options_.window = window;
+}
+
+void AtomicitySentinel::set_checkpoint_threshold(std::size_t threshold) {
+  const std::scoped_lock lock(mu_);
+  options_.checkpoint_threshold = threshold;
+  if (vc_ != nullptr) vc_->set_checkpoint_threshold(threshold);
 }
 
 void AtomicitySentinel::run_loop() {
@@ -133,9 +192,21 @@ void AtomicitySentinel::poll() {
   {
     const std::scoped_lock lock(mu_);
     const std::uint64_t clock_before = recorder_.sequence_now();
-    ingest(recorder_.drain_new());
-    check_window();
-    maybe_checkpoint();
+    if (vc_ == nullptr) {
+      ingest(recorder_.drain_new());
+      check_window();
+      maybe_checkpoint();
+    } else {
+      const std::vector<SequencedEvent> batch = recorder_.drain_new();
+      events_seen_.fetch_add(batch.size(), std::memory_order_relaxed);
+      if (events_metric_ != nullptr) events_metric_->inc(batch.size());
+      vc_->feed(batch);
+      // The frontier hint is the clock before the *previous* batch: any
+      // serialization key not yet drawn exceeds it (same reasoning as
+      // the exact mode's checkpoint frontier).
+      vc_->advance_frontier(prev_window_clock_);
+      sync_vc_stats();
+    }
     prev_window_clock_ = clock_before;
     windows_.fetch_add(1, std::memory_order_relaxed);
     if (windows_metric_ != nullptr) windows_metric_->inc();
@@ -328,6 +399,34 @@ void AtomicitySentinel::report_violation(const std::string& explanation) {
 std::string AtomicitySentinel::last_violation() const {
   const std::scoped_lock lock(mu_);
   return last_violation_;
+}
+
+void AtomicitySentinel::sync_vc_stats() {
+  const VcStats& s = vc_->stats();
+  const auto bump = [](Counter* metric, std::uint64_t prev,
+                       std::uint64_t now) {
+    if (metric != nullptr && now > prev) metric->inc(now - prev);
+  };
+  bump(violations_metric_, last_vc_.violations, s.violations);
+  bump(activities_metric_, last_vc_.certified, s.certified);
+  bump(stragglers_metric_, last_vc_.stragglers, s.stragglers);
+  bump(fastpath_windows_metric_, last_vc_.fastpath_windows,
+       s.fastpath_windows);
+  bump(escalations_metric_, last_vc_.escalations, s.escalations);
+  bump(suspicious_metric_, last_vc_.suspicious, s.suspicious);
+  bump(vc_ops_metric_, last_vc_.vc_ops, s.vc_ops);
+  violations_.store(s.violations, std::memory_order_relaxed);
+  activities_checked_.store(s.certified, std::memory_order_relaxed);
+  stragglers_.store(s.stragglers, std::memory_order_relaxed);
+  fastpath_windows_.store(s.fastpath_windows, std::memory_order_relaxed);
+  escalations_.store(s.escalations, std::memory_order_relaxed);
+  suspicious_.store(s.suspicious, std::memory_order_relaxed);
+  vc_ops_.store(s.vc_ops, std::memory_order_relaxed);
+  last_vc_ = s;
+  for (std::string& report : vc_->drain_reports()) {
+    last_violation_ = report;
+    pending_hooks_.push_back(std::move(report));
+  }
 }
 
 }  // namespace argus

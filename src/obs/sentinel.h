@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "check/system.h"
+#include "check/vc_atomicity.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "spec/spec.h"
@@ -64,12 +65,33 @@ namespace argus {
 
 class WaitPolicy;
 
+/// How each window certifies the committed projection.
+enum class CheckMode {
+  /// Re-replay every unfolded committed activity from the checkpoint
+  /// each window (the original incremental checker): exact, but the
+  /// per-window work grows with the buffered suffix.
+  kExact,
+  /// Vector-clock fast path only (check/vc_atomicity.h): each committed
+  /// activity is folded once, in observed order; activities whose
+  /// conflicts fold against canonical order are quarantined and counted
+  /// SUSPICIOUS, never resolved. Cheapest; monitoring-only.
+  kVectorClock,
+  /// Vector-clock fast path, but suspicious windows escalate to an exact
+  /// canonical re-replay of the window's buffer. Linear-time on
+  /// conflict-clean traffic, exact verdicts everywhere.
+  kEscalating,
+};
+
+[[nodiscard]] const char* to_string(CheckMode m);
+
 struct SentinelOptions {
   /// Interval between background drain+check windows.
   std::chrono::milliseconds window{25};
   /// Buffered committed events above which the checked prefix is folded
   /// into per-object candidate states. Default: never fold (exact mode).
   std::size_t checkpoint_threshold{static_cast<std::size_t>(-1)};
+  /// Certification strategy per window (see CheckMode).
+  CheckMode mode{CheckMode::kExact};
   /// Invoked (from the sentinel thread, or from poll()'s caller) with an
   /// explanation for every violation found.
   std::function<void(const std::string&)> on_violation;
@@ -100,6 +122,20 @@ class AtomicitySentinel {
   /// Runs one drain+check window synchronously (usable without start()).
   void poll();
 
+  /// Terminal flush: one final window, then (in the vector-clock modes)
+  /// seals everything still buffered so deferred certificates land and
+  /// unresolved suspicion is surfaced. stop() calls this after joining
+  /// the window thread; poll()-only users call it directly. Events
+  /// recorded after finalize() would be treated as stragglers.
+  void finalize();
+
+  /// Adjusts the drain interval of a running sentinel.
+  void set_window(std::chrono::milliseconds window);
+  /// Adjusts the checkpoint threshold of a running sentinel.
+  void set_checkpoint_threshold(std::size_t threshold);
+
+  [[nodiscard]] CheckMode mode() const { return options_.mode; }
+
   [[nodiscard]] std::uint64_t violations() const {
     return violations_.load(std::memory_order_relaxed);
   }
@@ -114,6 +150,23 @@ class AtomicitySentinel {
   }
   [[nodiscard]] std::uint64_t stragglers() const {
     return stragglers_.load(std::memory_order_relaxed);
+  }
+  /// Windows certified on the fast path alone (vector-clock modes; 0
+  /// under kExact).
+  [[nodiscard]] std::uint64_t fastpath_windows() const {
+    return fastpath_windows_.load(std::memory_order_relaxed);
+  }
+  /// Exact re-replays triggered by suspicious windows (kEscalating).
+  [[nodiscard]] std::uint64_t escalations() const {
+    return escalations_.load(std::memory_order_relaxed);
+  }
+  /// Activities flagged suspicious by the fast path.
+  [[nodiscard]] std::uint64_t suspicious() const {
+    return suspicious_.load(std::memory_order_relaxed);
+  }
+  /// Conflict-relation consults + vector-clock joins performed.
+  [[nodiscard]] std::uint64_t vc_ops() const {
+    return vc_ops_.load(std::memory_order_relaxed);
   }
   /// Explanation of the most recent violation ("" if none).
   [[nodiscard]] std::string last_violation() const;
@@ -144,12 +197,17 @@ class AtomicitySentinel {
                        std::map<ObjectId, StateSet>& states);
   StateSet& states_for(std::map<ObjectId, StateSet>& states, ObjectId x);
   void report_violation(const std::string& explanation);
+  /// Publishes the fast-path checker's stats to the atomics and metric
+  /// counters (callers hold mu_).
+  void sync_vc_stats();
 
   FlightRecorder& recorder_;
   const SystemSpec system_;  // snapshot at construction
-  const SentinelOptions options_;
+  SentinelOptions options_;  // window/threshold adjustable at runtime
 
   mutable std::mutex mu_;  // guards everything below + poll() itself
+  std::unique_ptr<VectorClockChecker> vc_;  // the fast path (non-kExact)
+  VcStats last_vc_;  // previously published stats, for metric deltas
   std::map<ActivityId, ActivityBuffer> activities_;
   std::multiset<Timestamp> open_initiations_;  // drawn ts of live activities
   std::map<ObjectId, StateSet> checkpoint_states_;
@@ -164,12 +222,20 @@ class AtomicitySentinel {
   std::atomic<std::uint64_t> events_seen_{0};
   std::atomic<std::uint64_t> activities_checked_{0};
   std::atomic<std::uint64_t> stragglers_{0};
+  std::atomic<std::uint64_t> fastpath_windows_{0};
+  std::atomic<std::uint64_t> escalations_{0};
+  std::atomic<std::uint64_t> suspicious_{0};
+  std::atomic<std::uint64_t> vc_ops_{0};
 
   Counter* violations_metric_{nullptr};
   Counter* windows_metric_{nullptr};
   Counter* events_metric_{nullptr};
   Counter* activities_metric_{nullptr};
   Counter* stragglers_metric_{nullptr};
+  Counter* fastpath_windows_metric_{nullptr};
+  Counter* escalations_metric_{nullptr};
+  Counter* suspicious_metric_{nullptr};
+  Counter* vc_ops_metric_{nullptr};
 
   std::mutex thread_mu_;  // guards thread_ / running_ transitions
   std::condition_variable stop_cv_;

@@ -94,6 +94,23 @@ class AdtSpec final : public SequentialSpec {
                                      const Operation& q) const override {
     return A::static_commutes(p, q);
   }
+
+  /// ADTs may pin the data-dependent fragment exactly with
+  ///     static bool state_dependent_commutes(const Operation&,
+  ///                                          const Operation&);
+  /// otherwise the base class probes forward_commutes over sampled
+  /// reachable states (see spec.cpp).
+  [[nodiscard]] bool state_dependent_commutes(
+      const Operation& p, const Operation& q) const override {
+    if constexpr (requires {
+                    { A::state_dependent_commutes(p, q) } ->
+                        std::same_as<bool>;
+                  }) {
+      return A::state_dependent_commutes(p, q);
+    } else {
+      return SequentialSpec::state_dependent_commutes(p, q);
+    }
+  }
 };
 
 }  // namespace argus

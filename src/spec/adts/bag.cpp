@@ -45,6 +45,15 @@ bool BagAdt::static_commutes(const Operation& p, const Operation& q) {
   return p.name == "size" && q.name == "size";
 }
 
+bool BagAdt::state_dependent_commutes(const Operation& p,
+                                      const Operation& q) {
+  if (static_commutes(p, q)) return false;
+  // size observes the exact multiset, so nothing that changes it ever
+  // commutes with it; every other non-static pair involves remove, whose
+  // nondeterminism makes the pair commute in sufficiently full states.
+  return p.name != "size" && q.name != "size";
+}
+
 std::string BagAdt::describe(const State& s) {
   std::ostringstream out;
   out << "{";

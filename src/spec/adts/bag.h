@@ -23,6 +23,12 @@ struct BagAdt {
   static Outcomes<State> step(const State& s, const Operation& op);
   static bool is_read_only(const Operation& op);
   static bool static_commutes(const Operation& p, const Operation& q);
+  /// The generic reachability probe cannot discover the bag's
+  /// data-dependent pairs (remove alone cannot build a populated bag), so
+  /// the fragment is pinned here: remove/remove commutes at multiplicity
+  /// >= 2, insert(n)/remove at states holding an n.
+  static bool state_dependent_commutes(const Operation& p,
+                                       const Operation& q);
   static std::string type_name() { return "bag"; }
   static std::string describe(const State& s);
 };

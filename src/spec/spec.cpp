@@ -1,6 +1,47 @@
 #include "spec/spec.h"
 
-// SpecState and SequentialSpec are pure interfaces; this translation unit
-// anchors their vtables.
+#include <memory>
+#include <vector>
 
-namespace argus {}  // namespace argus
+#include "spec/commutativity.h"
+
+namespace argus {
+
+namespace {
+
+bool known(const std::vector<std::unique_ptr<SpecState>>& states,
+           const SpecState& s) {
+  for (const auto& known_state : states) {
+    if (known_state->equals(s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SequentialSpec::state_dependent_commutes(const Operation& p,
+                                              const Operation& q) const {
+  if (static_commutes(p, q)) return false;
+  // Breadth-first sample of states reachable from the initial state by
+  // applying p and q, probing forward commutativity at each. Bounded so a
+  // prolific nondeterministic spec cannot blow the probe up; results are
+  // memoized by ConflictRelation (check/conflict.h), so the cost is paid
+  // once per distinct operation pair.
+  constexpr std::size_t kMaxStates = 32;
+  std::vector<std::unique_ptr<SpecState>> sampled;
+  sampled.push_back(initial_state());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    if (forward_commutes(*sampled[i], p, q)) return true;
+    for (const Operation* o : {&p, &q}) {
+      for (auto& next : sampled[i]->step(*o)) {
+        if (sampled.size() >= kMaxStates) break;
+        if (!known(sampled, *next.state)) {
+          sampled.push_back(std::move(next.state));
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace argus

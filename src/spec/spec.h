@@ -67,6 +67,24 @@ class SequentialSpec {
   /// state-dependent test (commutativity.h) is the subject of §5.1.
   [[nodiscard]] virtual bool static_commutes(const Operation& p,
                                              const Operation& q) const = 0;
+
+  /// True iff p and q do not commute in every state but do forward-commute
+  /// in *some* state — the data-dependent fragment (§5.1) that a static
+  /// conflict table cannot express (two withdraws when the balance covers
+  /// both, two bag removes claiming distinct instances, ...). The
+  /// vector-clock fast path (check/vc_atomicity.h) treats such pairs as
+  /// conflicts but classifies the suspicion they raise as escalatable
+  /// rather than a definite violation.
+  ///
+  /// The default implementation probes forward_commutes over a bounded
+  /// sample of states reachable from the initial state via p and q. The
+  /// probe can under-approximate (states neither p nor q can build are
+  /// never sampled); ADTs whose data-dependence lives in such states
+  /// override it (e.g. the bag). Under-approximation is safe for the fast
+  /// path — it only shifts a pair from SUSPICIOUS to the conservative
+  /// conflict class, never the other way.
+  [[nodiscard]] virtual bool state_dependent_commutes(const Operation& p,
+                                                      const Operation& q) const;
 };
 
 }  // namespace argus
