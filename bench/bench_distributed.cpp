@@ -11,6 +11,13 @@
 // force in parallel: throughput must grow monotonically from 1 to 4
 // sites. A cross-site 2PC variant measures what the coordinated path
 // costs by comparison.
+//
+// E18 — decision-log force cost. Every 2PC decision is force-written to
+// the coordinator's DecisionLog before delivery (crash-tolerant commit
+// coordination); durable_decisions=false is the PR 6 in-memory baseline.
+// With the same simulated storage latency on both the participants'
+// prepares and the decision force, the benchmark prices exactly one
+// extra forced write per multi-site commit.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -171,6 +178,83 @@ void BM_DistScaling_CrossSite2PC(benchmark::State& state) {
   }
 }
 
+// E18: the price of crash-tolerant commit coordination. Cross-site 2PC
+// transfers on two sites, once with the durable decision log (every
+// decision force-written before delivery, same simulated storage
+// latency as the participants' prepares) and once with the in-memory
+// PR 6 baseline. Arg(1) = durable, Arg(0) = baseline.
+void BM_DecisionLogCost(benchmark::State& state) {
+  const bool durable = state.range(0) != 0;
+  constexpr std::size_t kSites = 2;
+  for (auto _ : state) {
+    DistOptions options;
+    options.sites = kSites;
+    options.protocol = Protocol::kHybrid;
+    options.recorder = Runtime::RecorderMode::kOff;
+    options.durable_decisions = durable;
+    auto dist = std::make_unique<DistRuntime>(options);
+    const std::size_t accounts = kSites * kAccountsPerSite;
+    for (std::size_t j = 0; j < accounts; ++j) {
+      dist->create_sharded<BankAccountAdt>("a" + std::to_string(j));
+    }
+    for (std::size_t i = 0; i < kSites; ++i) {
+      dist->site(i).runtime().set_wait_timeout_all(
+          std::chrono::milliseconds(2000));
+    }
+    for (std::size_t s = 0; s < kSites; ++s) {
+      const auto t = dist->begin();
+      for (std::size_t j = s; j < accounts; j += kSites) {
+        dist->write(*t, "a" + std::to_string(j),
+                    account::deposit(kSeedBalance));
+      }
+      dist->commit(t);
+    }
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.leader_latency_permille = 1000;
+    plan.leader_latency_us = 50;
+    dist->set_fault_plan(plan);
+    // The decision force pays the same "disk" as every participant
+    // force; the baseline writes nothing, so the delta is one forced
+    // write per multi-site commit.
+    dist->decision_log().set_force_delay(std::chrono::microseconds(50));
+
+    const auto start = std::chrono::steady_clock::now();
+    SplitMix64 rng(17);
+    for (int i = 0; i < kTxnsPerThread; ++i) {
+      const std::size_t from = rng.below(accounts);
+      std::size_t to = rng.below(accounts);
+      if (to % kSites == from % kSites) to = (to + 1) % accounts;
+      const auto t = dist->begin();
+      const Value got =
+          dist->read(*t, "a" + std::to_string(from), account::withdraw(5));
+      if (got.is_unit()) {
+        dist->write(*t, "a" + std::to_string(to), account::deposit(5));
+      }
+      dist->commit(t);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    if (total_balance(*dist) !=
+        static_cast<std::int64_t>(accounts) * kSeedBalance) {
+      throw std::runtime_error("conservation violated in E18 run");
+    }
+    const DistStats stats = dist->stats();
+    std::map<std::string, double> counters;
+    counters["txn_per_s"] =
+        static_cast<double>(kTxnsPerThread) / elapsed.count();
+    counters["two_pc_commits"] = static_cast<double>(stats.two_pc_commits);
+    counters["decisions_logged"] = static_cast<double>(stats.decisions_logged);
+    counters["decisions_truncated"] =
+        static_cast<double>(stats.decisions_truncated);
+    for (const auto& [k, v] : counters) state.counters[k] = v;
+    bench::JsonSink::instance().update(
+        std::string("decision_log/") + (durable ? "durable" : "in_memory"),
+        counters);
+  }
+}
+
 BENCHMARK(BM_DistScaling_ShardLocal)
     ->Arg(1)
     ->Arg(2)
@@ -180,6 +264,11 @@ BENCHMARK(BM_DistScaling_ShardLocal)
 BENCHMARK(BM_DistScaling_CrossSite2PC)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_DecisionLogCost)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

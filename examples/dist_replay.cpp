@@ -48,6 +48,11 @@ int main(int argc, char** argv) {
             << "promoted commits:  " << result.promoted_commits << "\n"
             << "presumed aborts:   " << result.presumed_aborts << "\n"
             << "catch-up txns:     " << result.catchup_txns << "\n"
+            << "coord crashes:     " << result.coord_crashes << " ("
+            << result.coord_recovers << " recoveries)\n"
+            << "decisions logged:  " << result.decisions_logged << "\n"
+            << "messages lost:     " << result.msgs_lost << "\n"
+            << "termination promos: " << result.termination_promotions << "\n"
             << "verdict:           " << (result.ok ? "CERTIFIED" : "FAILED")
             << "\n";
   if (!result.ok) std::cout << result.failure << "\n";

@@ -1,9 +1,12 @@
 #include "dist/dist_runtime.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/errors.h"
+#include "obs/metrics_registry.h"
 
 namespace argus {
 
@@ -369,6 +372,17 @@ void DistRuntime::commit_one_phase(DistTxn& t, std::size_t site_index,
 
 void DistRuntime::commit_two_phase(DistTxn& t) {
   const std::scoped_lock commit_lock(dist_commit_mu_);
+
+  // No coordinator, no 2PC: presumed abort only works while there is a
+  // decision list to ask. Refuse up front, before any participant
+  // prepares — an unprepared abort leaves nothing in doubt.
+  if (!coordinator_up()) {
+    coord_unavailable_aborts_.fetch_add(1, std::memory_order_relaxed);
+    abort_parts(t, AbortReason::kUnavailable);
+    count_abort(AbortReason::kUnavailable);
+    throw TransactionAborted(t.gid_, AbortReason::kUnavailable);
+  }
+
   {
     const std::scoped_lock lock(catalog_mu_);
     in_2pc_ = true;
@@ -378,6 +392,13 @@ void DistRuntime::commit_two_phase(DistTxn& t) {
     // keep its prepared record in doubt instead of presuming abort.
     const std::scoped_lock lock(decisions_mu_);
     inflight_gid_ = t.gid_;
+  }
+  FaultInjector* coord = coordinator_injector_.get();
+
+  // A pinned coordinator crash before any prepare: a clean global abort
+  // (no participant holds anything stable yet).
+  if (coord != nullptr && coord->on_coord_crash(FaultSite::kCoordPrePrepare)) {
+    coordinator_died(t, std::nullopt);  // throws
   }
 
   // Phase 1: prepare at every participant, in ascending site order. Each
@@ -391,6 +412,13 @@ void DistRuntime::commit_two_phase(DistTxn& t) {
     tick_site_faults();
     Site& s = *sites_[idx];
     if (!s.up() || !part.txn->active() || part.txn->doomed()) {
+      veto = AbortReason::kUnavailable;
+      break;
+    }
+    if (!send_message(FaultSite::kMsgPrepare)) {
+      // Every prepare attempt to this participant was lost: treat it as
+      // unreachable and abort globally — it never prepared, so nothing
+      // is in doubt.
       veto = AbortReason::kUnavailable;
       break;
     }
@@ -417,49 +445,169 @@ void DistRuntime::commit_two_phase(DistTxn& t) {
     throw TransactionAborted(t.gid_, *veto);
   }
 
+  // A pinned coordinator crash after every prepare but before the
+  // decision: the classic in-doubt window. Nothing stable names the gid
+  // yet, so the global outcome is (presumed) abort — but no participant
+  // can learn that until the coordinator returns.
+  if (coord != nullptr && coord->on_coord_crash(FaultSite::kCoordPostPrepare)) {
+    coordinator_died(t, std::nullopt);  // throws
+  }
+
   // Decision: commit at G = max(proposals). Disjoint clock residue
   // classes make G globally unique, and G >= every local proposal, so
-  // each participant's re-stamp is an order-preserving move. Recording
-  // the decision *before* delivery is what lets a participant that fails
-  // from here on resolve its in-doubt record at recovery (presumed abort
-  // for everything not on this list).
+  // each participant's re-stamp is an order-preserving move. The
+  // decision is force-written to the DecisionLog *before* any delivery
+  // (write-ahead for the decision itself): that is what lets a
+  // participant — or the coordinator — that fails from here on resolve
+  // the in-doubt record later (presumed abort for everything not
+  // logged).
   tick_site_faults();
+  if (options_.durable_decisions &&
+      !decision_log_.force_decision(t.gid_, decision, t.participants())) {
+    // The decision force failed: nothing stable names the gid, so the
+    // only safe outcome is a global abort — the coordinator must never
+    // deliver a commit it could not remember.
+    {
+      const std::scoped_lock lock(decisions_mu_);
+      inflight_gid_.reset();
+    }
+    abort_parts(t, AbortReason::kIoError);
+    count_abort(AbortReason::kIoError);
+    run_deferred_catchups();
+    throw TransactionAborted(t.gid_, AbortReason::kIoError);
+  }
   {
     const std::scoped_lock lock(decisions_mu_);
     decisions_.emplace(t.gid_, decision);
     inflight_gid_.reset();
   }
 
+  // From here the transaction IS committed — the decision is stable
+  // (and cached on the commit list): whatever fails below, recovery and
+  // the termination protocol deliver it everywhere eventually. The
+  // catalog entry is registered now; delivery is marked per site as
+  // phase 2 actually reaches each one.
+  t.finished_ = true;
+  bump_global_stamp(decision);
+  register_commit(t, decision, {});
+
+  if (coord != nullptr && coord->on_coord_crash(FaultSite::kCoordPostDecision)) {
+    // Crash post-decision, pre-delivery: committed, and nobody was told.
+    // Every prepared participant is stranded in doubt.
+    coordinator_died(t, decision);
+    two_pc_commits_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   // Phase 2: deliver. A participant that failed keeps its prepared
   // record for recovery; one that failed and already recovered is
   // resolved right here.
-  t.finished_ = true;
-  std::set<std::size_t> delivered;
+  bool crashed_mid_delivery = false;
+  std::size_t delivered = 0;
   for (auto& [idx, part] : t.parts_) {
+    if (delivered > 0 && coord != nullptr &&
+        coord->on_coord_crash(FaultSite::kCoordMidDelivery)) {
+      crashed_mid_delivery = true;
+      break;
+    }
     tick_site_faults();
     Site& s = *sites_[idx];
     if (s.up() && part.txn->active() && !part.txn->doomed()) {
+      if (!send_message(FaultSite::kMsgDecide)) {
+        // Every decide retry was lost: the participant is unreachable
+        // while holding prepared volatile state — fence it (it is a
+        // participant failure); recovery promotes its record from the
+        // decision list.
+        fence(idx);
+        s.tm().detach_prepared(part.txn);
+        continue;
+      }
       s.tm().commit_prepared(part.txn, decision);
       // A pinned crash can down the site mid-apply; the promoted record
       // is stable and the apply completes, so the commit is delivered
       // here either way (recovery replays the same record).
-      delivered.insert(idx);
+      part.delivered = true;
+      ++delivered;
+      mark_delivered_site(t, decision, idx);
+      if (options_.durable_decisions && send_message(FaultSite::kMsgAck)) {
+        decision_log_.ack(t.gid_, idx);
+      }
     } else if (s.up()) {
       // Failed after preparing, recovered before delivery.
       s.tm().detach_prepared(part.txn);
       resolve_in_doubt_commit(s, t.gid_, decision);
-      delivered.insert(idx);
+      part.delivered = true;
+      ++delivered;
+      mark_delivered_site(t, decision, idx);
+      // Its stable log now carries the promoted record, which is exactly
+      // what an ack certifies.
+      if (options_.durable_decisions && send_message(FaultSite::kMsgAck)) {
+        decision_log_.ack(t.gid_, idx);
+      }
     } else {
       // Still down: silent retire; the prepared record waits for
       // recovery, which finds the decision on the commit list.
       s.tm().detach_prepared(part.txn);
     }
   }
+  if (crashed_mid_delivery) {
+    // Crash between two deliveries: some participants committed, the
+    // rest are in doubt — the showcase for cooperative termination
+    // (surviving peers' stable logs carry the promoted record).
+    coordinator_died(t, decision);
+    two_pc_commits_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
 
-  bump_global_stamp(decision);
-  register_commit(t, decision, delivered);
+  if (options_.durable_decisions) decision_log_.checkpoint();
   two_pc_commits_.fetch_add(1, std::memory_order_relaxed);
   run_deferred_catchups();
+}
+
+void DistRuntime::coordinator_died(DistTxn& t,
+                                   std::optional<Timestamp> decided) {
+  crash_coordinator();
+  t.finished_ = true;
+  for (auto& [idx, part] : t.parts_) {
+    if (part.delivered) continue;  // already committed locally
+    Site& s = *sites_[idx];
+    if (part.prepared) {
+      if (s.up() && part.txn->active() && !part.txn->doomed()) {
+        // A live participant stranded while prepared: fence it. Its
+        // volatile intentions must not serve reads, and nothing short of
+        // a crash can retire them without a decision.
+        fence(idx);
+      }
+      s.tm().detach_prepared(part.txn);
+    } else {
+      // Never prepared: a plain local abort is safe and clean.
+      if (s.up()) observe_into(t, s);
+      s.tm().abort(part.txn, AbortReason::kUnavailable);
+      if (s.up()) absorb_from(t, s);
+    }
+  }
+  run_deferred_catchups();
+  if (!decided.has_value()) {
+    count_abort(AbortReason::kUnavailable);
+    throw TransactionAborted(t.gid_, AbortReason::kUnavailable);
+  }
+}
+
+bool DistRuntime::send_message(FaultSite channel) {
+  FaultInjector* inj = coordinator_injector_.get();
+  if (inj == nullptr) return true;
+  // Prepare and decide messages are resent on loss; an ack is not (a
+  // lost ack merely leaves the decision on the log until the next
+  // ack-table sync re-derives it from the participant's stable log).
+  const std::uint32_t retries =
+      channel == FaultSite::kMsgAck ? 0 : inj->plan().msg_retries;
+  for (std::uint32_t attempt = 0; attempt <= retries; ++attempt) {
+    const FaultInjector::MsgDecision d = inj->on_message(channel);
+    if (d.latency_us > 0) msg_delays_.fetch_add(1, std::memory_order_relaxed);
+    if (!d.lost) return true;
+    msgs_lost_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
 }
 
 void DistRuntime::register_commit(DistTxn& t, Timestamp decided,
@@ -481,6 +629,18 @@ void DistRuntime::register_commit(DistTxn& t, Timestamp decided,
         r->delivered.insert(decided);
         r->readable.store(true, std::memory_order_release);
       }
+    }
+  }
+}
+
+void DistRuntime::mark_delivered_site(DistTxn& t, Timestamp G,
+                                      std::size_t site_index) {
+  const std::scoped_lock lock(catalog_mu_);
+  for (const auto& [var, targets] : t.write_targets_) {
+    if (!var->replicated || !targets.contains(site_index)) continue;
+    if (Replica* r = var->replica_at(site_index)) {
+      r->delivered.insert(G);
+      r->readable.store(true, std::memory_order_release);
     }
   }
 }
@@ -560,36 +720,88 @@ bool DistRuntime::fail(std::size_t site_index) {
 bool DistRuntime::recover(std::size_t site_index) {
   Site& s = *sites_.at(site_index);
   if (s.up()) return false;
+  bool fenced = false;
+  {
+    const std::scoped_lock lock(catalog_mu_);
+    fenced = fenced_sites_.contains(site_index);
+  }
 
-  // (1) Resolve in-doubt prepared records against the decision list:
-  // promote and count the ones the coordinator committed, presume abort
-  // for the rest — except a record of the 2PC currently in flight, whose
-  // outcome is genuinely still open. Either way the proposal's entry in
-  // the clock's in-flight table is released (idempotent), or it would
-  // stall every later commit turn at this site forever.
-  std::vector<std::pair<CommitLogRecord, Timestamp>> promoted;
-  for (auto& rec : s.tm().log().prepared_records()) {
-    s.tm().clock().finish_commit(rec.commit_ts);
+  // (1a) Determine the outcome of every in-doubt prepared record first —
+  // read-only, so recovery can refuse atomically. The coordinator's
+  // commit list is decisive while it is up: promote what it committed,
+  // presume abort for the rest — except a record of the 2PC currently in
+  // flight, whose outcome is genuinely still open. With the coordinator
+  // down, the cooperative termination protocol queries surviving peers'
+  // stable logs instead; a record nobody can resolve blocks the whole
+  // recovery — the site stays down and a later recover() retries
+  // (normally after the coordinator returns) — because recovering with
+  // an undecided record would let the catch-up copier apply catalog
+  // writes that a later promotion would replay a second time.
+  struct Resolution {
+    CommitLogRecord rec;
     std::optional<Timestamp> decided;
-    bool in_doubt = false;
+    bool in_flight{false};
+    bool via_peer{false};
+  };
+  std::vector<Resolution> resolutions;
+  std::size_t unresolved = 0;
+  for (auto& rec : s.tm().log().prepared_records()) {
+    Resolution r{std::move(rec), std::nullopt, false, false};
     {
       const std::scoped_lock lock(decisions_mu_);
-      const auto it = decisions_.find(rec.txn);
+      const auto it = decisions_.find(r.rec.txn);
       if (it != decisions_.end()) {
-        decided = it->second;
-      } else if (inflight_gid_ == rec.txn) {
-        in_doubt = true;
+        r.decided = it->second;
+      } else if (inflight_gid_ == r.rec.txn) {
+        r.in_flight = true;
       }
     }
-    if (decided.has_value()) {
-      if (s.tm().log().promote_prepared(rec.txn, *decided)) {
-        s.tm().clock().observe_committed(*decided);
-        promoted.emplace_back(std::move(rec), *decided);
-        promoted_commits_.fetch_add(1, std::memory_order_relaxed);
+    if (!r.decided.has_value() && !r.in_flight && !coordinator_up()) {
+      r.decided = query_peers(site_index, r.rec.txn);
+      if (r.decided.has_value()) {
+        r.via_peer = true;
+      } else {
+        ++unresolved;
       }
-    } else if (!in_doubt) {
-      if (s.tm().log().drop_prepared(rec.txn)) {
+    }
+    resolutions.push_back(std::move(r));
+  }
+  if (unresolved > 0) {
+    termination_blocked_.fetch_add(unresolved, std::memory_order_relaxed);
+    return false;
+  }
+
+  // (1b) Apply the resolutions. Either way each proposal's entry in the
+  // clock's in-flight table is released (idempotent), or it would stall
+  // every later commit turn at this site forever.
+  std::vector<std::pair<CommitLogRecord, Timestamp>> promoted;
+  for (auto& r : resolutions) {
+    s.tm().clock().finish_commit(r.rec.commit_ts);
+    if (r.in_flight) continue;
+    if (r.decided.has_value()) {
+      if (s.tm().log().promote_prepared(r.rec.txn, *r.decided)) {
+        s.tm().clock().observe_committed(*r.decided);
+        promoted_commits_.fetch_add(1, std::memory_order_relaxed);
+        if (r.via_peer) {
+          termination_peer_promotions_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        } else if (fenced) {
+          termination_promoted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // The promoted record in this site's stable log doubles as the
+        // delivery ack the coordinator needs before truncating.
+        if (options_.durable_decisions && coordinator_up()) {
+          decision_log_.ack(r.rec.txn, site_index);
+        }
+        promoted.emplace_back(std::move(r.rec), *r.decided);
+      }
+    } else {
+      if (s.tm().log().drop_prepared(r.rec.txn)) {
         presumed_aborts_.fetch_add(1, std::memory_order_relaxed);
+        if (fenced) {
+          termination_presumed_aborts_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
       }
     }
   }
@@ -635,12 +847,134 @@ bool DistRuntime::recover(std::size_t site_index) {
   }
   if (!defer && !catch_up(s)) {
     // The copier was aborted by an injected fault: recovery is atomic,
-    // so the site goes back down and a later recover() retries whole.
+    // so the site goes back down (still fenced, if it was) and a later
+    // recover() retries whole.
     s.set_up(false);
     return false;
   }
+  {
+    const std::scoped_lock lock(catalog_mu_);
+    fenced_sites_.erase(site_index);
+  }
   site_recovers_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+void DistRuntime::fence(std::size_t site_index) {
+  if (fail(site_index)) {
+    const std::scoped_lock lock(catalog_mu_);
+    fenced_sites_.insert(site_index);
+  }
+}
+
+std::optional<Timestamp> DistRuntime::query_peers(std::size_t self,
+                                                  ActivityId gid) {
+  FaultInjector* inj = coordinator_injector_.get();
+  std::uint32_t backoff_us = options_.termination_backoff_us;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (inj != nullptr && inj->on_wait().spurious_timeout) {
+      // This status-query round timed out (injected). Back off and
+      // retry, up to the bound.
+      termination_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt >= options_.termination_max_retries) return std::nullopt;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us *= 2;
+      continue;
+    }
+    for (std::size_t p = 0; p < sites_.size(); ++p) {
+      if (p == self || !sites_[p]->up()) continue;
+      if (const auto ts = sites_[p]->tm().log().committed_ts(gid)) return ts;
+    }
+    // A clean round where no surviving peer knows the outcome: further
+    // retries bring no new information, so the record stays in doubt.
+    return std::nullopt;
+  }
+}
+
+// --- coordinator failover ----------------------------------------------
+
+bool DistRuntime::crash_coordinator() {
+  if (!coordinator_up_.exchange(false, std::memory_order_acq_rel)) {
+    return false;
+  }
+  coord_crashes_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // The volatile commit list and the open-decision marker die with the
+    // coordinator; with durable_decisions the stable DecisionLog is the
+    // recovery source, without it the decisions are simply gone (the
+    // failure mode the log exists to close).
+    const std::scoped_lock lock(decisions_mu_);
+    decisions_.clear();
+    inflight_gid_.reset();
+  }
+  decision_log_.crash();
+  return true;
+}
+
+bool DistRuntime::recover_coordinator() {
+  const std::scoped_lock commit_lock(dist_commit_mu_);
+  if (coordinator_up()) return false;
+  {
+    const std::scoped_lock lock(decisions_mu_);
+    decisions_.clear();
+    for (const DecisionLog::Decision& d : decision_log_.replay()) {
+      decisions_.emplace(d.gid, d.decision);
+    }
+    inflight_gid_.reset();
+  }
+  coordinator_up_.store(true, std::memory_order_release);
+  coord_recovers_.fetch_add(1, std::memory_order_relaxed);
+  // Re-sync the ack table lost in the crash from the participants' own
+  // stable logs, and truncate what every participant already has.
+  if (options_.durable_decisions) sync_acks_locked();
+  return true;
+}
+
+std::size_t DistRuntime::run_termination_protocol() {
+  std::set<std::size_t> fenced;
+  {
+    const std::scoped_lock lock(catalog_mu_);
+    fenced = fenced_sites_;
+  }
+  const std::scoped_lock commit_lock(dist_commit_mu_);
+  std::size_t resolved = 0;
+  if (!fenced.empty()) {
+    termination_rounds_.fetch_add(1, std::memory_order_relaxed);
+    for (const std::size_t idx : fenced) {
+      Site& s = *sites_[idx];
+      if (s.up()) {
+        // Recovered through another path meanwhile.
+        const std::scoped_lock lock(catalog_mu_);
+        fenced_sites_.erase(idx);
+        continue;
+      }
+      const std::size_t in_doubt = s.tm().log().prepared_records().size();
+      // recover() runs the cooperative termination for the site's records
+      // (decisive against the commit list when the coordinator is up, peer
+      // queries with retry + backoff when it is not) and refuses — leaving
+      // the site down and fenced — if any record stays unresolvable.
+      if (recover(idx)) resolved += in_doubt;
+    }
+  }
+  // Even with nothing fenced, the round doubles as the coordinator's lazy
+  // ack collection: acks lost on the wire are re-derived from the
+  // participants' own stable logs, and fully-acknowledged decisions are
+  // truncated — which is what lets drivers assert the decision log drains
+  // once every site is up.
+  if (coordinator_up() && options_.durable_decisions) sync_acks_locked();
+  return resolved;
+}
+
+void DistRuntime::sync_acks_locked() {
+  for (const DecisionLog::Decision& d : decision_log_.replay()) {
+    for (const std::size_t p : d.participants) {
+      if (p >= sites_.size() || !sites_[p]->up()) continue;
+      if (sites_[p]->tm().log().committed_ts(d.gid).has_value()) {
+        decision_log_.ack(d.gid, p);
+      }
+    }
+  }
+  decision_log_.checkpoint();
 }
 
 bool DistRuntime::catch_up(Site& s) {
@@ -721,6 +1055,9 @@ void DistRuntime::set_fault_plan(const FaultPlan& plan) {
     return m;
   });
   coordinator_injector_ = std::move(coord);
+  // Decision-log forces consult the coordinator injector too
+  // (FaultSite::kDecisionForce — a coordinator-side storage fault).
+  decision_log_.set_fault_injector(coordinator_injector_.get());
 
   // Per-site injectors: derived seeds (distinct fault streams per site),
   // site churn zeroed (that's the coordinator's job), and the pinned
@@ -750,6 +1087,18 @@ void DistRuntime::tick_site_faults() {
     } else {
       if (inj->on_site_recover(i)) recover(i);
     }
+  }
+  if (!coordinator_up()) {
+    bool in_2pc = false;
+    {
+      const std::scoped_lock lock(catalog_mu_);
+      in_2pc = in_2pc_;
+    }
+    // recover_coordinator() takes dist_commit_mu_, which the 2PC holds
+    // when it ticks between protocol steps — but the coordinator cannot
+    // be down mid-2PC anyway (its death ends the 2PC), so the guard is
+    // belt and braces.
+    if (!in_2pc && inj->on_coord_recover()) recover_coordinator();
   }
 }
 
@@ -860,7 +1209,137 @@ DistStats DistRuntime::stats() const {
   out.catchup_ops = catchup_ops_.load(std::memory_order_relaxed);
   out.replica_divergence =
       replica_divergence_.load(std::memory_order_relaxed);
+  out.coord_crashes = coord_crashes_.load(std::memory_order_relaxed);
+  out.coord_recovers = coord_recovers_.load(std::memory_order_relaxed);
+  out.coord_unavailable_aborts =
+      coord_unavailable_aborts_.load(std::memory_order_relaxed);
+  const DecisionLog::Stats dl = decision_log_.stats();
+  out.decisions_logged = dl.logged;
+  out.decision_force_failures = dl.force_failures;
+  out.decisions_truncated = dl.truncated;
+  out.msgs_lost = msgs_lost_.load(std::memory_order_relaxed);
+  out.msg_delays = msg_delays_.load(std::memory_order_relaxed);
+  out.termination_rounds = termination_rounds_.load(std::memory_order_relaxed);
+  out.termination_promoted =
+      termination_promoted_.load(std::memory_order_relaxed);
+  out.termination_peer_promotions =
+      termination_peer_promotions_.load(std::memory_order_relaxed);
+  out.termination_presumed_aborts =
+      termination_presumed_aborts_.load(std::memory_order_relaxed);
+  out.termination_retries =
+      termination_retries_.load(std::memory_order_relaxed);
+  out.termination_blocked =
+      termination_blocked_.load(std::memory_order_relaxed);
   return out;
+}
+
+void DistRuntime::register_metrics(MetricsRegistry& registry) {
+  static constexpr struct {
+    const char* name;
+    const char* help;
+    const char* type;
+  } kMetrics[] = {
+      {"argus_dist_txns_begun_total", "Distributed transactions begun",
+       "counter"},
+      {"argus_dist_one_phase_commits_total",
+       "Single-participant commits through the local pipeline", "counter"},
+      {"argus_dist_two_pc_commits_total", "Two-phase commits decided commit",
+       "counter"},
+      {"argus_dist_read_only_commits_total",
+       "Cross-site read-only transactions committed", "counter"},
+      {"argus_dist_aborts_total", "Distributed transactions aborted",
+       "counter"},
+      {"argus_dist_unavailable_aborts_total",
+       "Aborts because no copy or participant was available", "counter"},
+      {"argus_dist_site_fails_total", "Site failures", "counter"},
+      {"argus_dist_site_recovers_total", "Completed site recoveries",
+       "counter"},
+      {"argus_dist_presumed_aborts_total",
+       "In-doubt prepared records dropped at recovery (presumed abort)",
+       "counter"},
+      {"argus_dist_promoted_commits_total",
+       "In-doubt prepared records promoted to commit", "counter"},
+      {"argus_dist_catchup_txns_total", "Catch-up copier transactions",
+       "counter"},
+      {"argus_dist_catchup_ops_total",
+       "Operations re-applied by the catch-up copier", "counter"},
+      {"argus_dist_replica_divergence_total",
+       "Replica result disagreements observed", "counter"},
+      {"argus_dist_coord_crashes_total", "Coordinator crashes", "counter"},
+      {"argus_dist_coord_recovers_total", "Coordinator failovers completed",
+       "counter"},
+      {"argus_dist_coord_unavailable_aborts_total",
+       "2PC attempts refused because the coordinator was down", "counter"},
+      {"argus_dist_decisions_logged_total",
+       "Commit decisions force-written to the decision log", "counter"},
+      {"argus_dist_decision_force_failures_total",
+       "Injected decision-log force failures (each aborts its 2PC)",
+       "counter"},
+      {"argus_dist_decisions_truncated_total",
+       "Fully-acknowledged decisions checkpointed off the log", "counter"},
+      {"argus_dist_msgs_lost_total", "Coordinator messages lost (injected)",
+       "counter"},
+      {"argus_dist_msg_delays_total",
+       "Coordinator messages delayed (injected)", "counter"},
+      {"argus_dist_termination_rounds_total",
+       "Cooperative termination rounds run", "counter"},
+      {"argus_dist_termination_promoted_total",
+       "Fenced in-doubt records promoted via the recovered commit list",
+       "counter"},
+      {"argus_dist_termination_peer_promotions_total",
+       "In-doubt records promoted via a surviving peer's stable log",
+       "counter"},
+      {"argus_dist_termination_presumed_aborts_total",
+       "Fenced in-doubt records resolved by presumed abort", "counter"},
+      {"argus_dist_termination_retries_total",
+       "Termination query rounds wasted on injected timeouts", "counter"},
+      {"argus_dist_termination_blocked_total",
+       "In-doubt records left unresolved by a termination attempt",
+       "counter"},
+      {"argus_dist_decisions_outstanding",
+       "Stable decisions awaiting full acknowledgement", "gauge"},
+  };
+  for (const auto& m : kMetrics) registry.describe(m.name, m.help, m.type);
+  registry.add_collector([this] {
+    const DistStats s = stats();
+    std::vector<MetricSample> out;
+    const auto add = [&out](const char* name, std::uint64_t v) {
+      out.push_back({name, {}, static_cast<double>(v)});
+    };
+    add("argus_dist_txns_begun_total", s.begun);
+    add("argus_dist_one_phase_commits_total", s.one_phase_commits);
+    add("argus_dist_two_pc_commits_total", s.two_pc_commits);
+    add("argus_dist_read_only_commits_total", s.read_only_commits);
+    add("argus_dist_aborts_total", s.aborts);
+    add("argus_dist_unavailable_aborts_total", s.unavailable_aborts);
+    add("argus_dist_site_fails_total", s.site_fails);
+    add("argus_dist_site_recovers_total", s.site_recovers);
+    add("argus_dist_presumed_aborts_total", s.presumed_aborts);
+    add("argus_dist_promoted_commits_total", s.promoted_commits);
+    add("argus_dist_catchup_txns_total", s.catchup_txns);
+    add("argus_dist_catchup_ops_total", s.catchup_ops);
+    add("argus_dist_replica_divergence_total", s.replica_divergence);
+    add("argus_dist_coord_crashes_total", s.coord_crashes);
+    add("argus_dist_coord_recovers_total", s.coord_recovers);
+    add("argus_dist_coord_unavailable_aborts_total",
+        s.coord_unavailable_aborts);
+    add("argus_dist_decisions_logged_total", s.decisions_logged);
+    add("argus_dist_decision_force_failures_total",
+        s.decision_force_failures);
+    add("argus_dist_decisions_truncated_total", s.decisions_truncated);
+    add("argus_dist_msgs_lost_total", s.msgs_lost);
+    add("argus_dist_msg_delays_total", s.msg_delays);
+    add("argus_dist_termination_rounds_total", s.termination_rounds);
+    add("argus_dist_termination_promoted_total", s.termination_promoted);
+    add("argus_dist_termination_peer_promotions_total",
+        s.termination_peer_promotions);
+    add("argus_dist_termination_presumed_aborts_total",
+        s.termination_presumed_aborts);
+    add("argus_dist_termination_retries_total", s.termination_retries);
+    add("argus_dist_termination_blocked_total", s.termination_blocked);
+    add("argus_dist_decisions_outstanding", decision_log_.outstanding());
+    return out;
+  });
 }
 
 }  // namespace argus

@@ -34,13 +34,31 @@
 //     then the decision timestamp G = max(proposals) — globally unique,
 //     and consistent with every local proposal — is delivered via
 //     commit_prepared (re-stamp, promote, apply behind the local
-//     watermark). Decisions are recorded coordinator-side *before*
-//     delivery (commit list; presumed abort for everything else), so a
+//     watermark). Decisions are *force-written to the DecisionLog*
+//     before delivery (presumed abort for everything else), so a
 //     participant that fails between prepare and delivery resolves its
-//     in-doubt record at recovery: promote+replay if the gid is on the
-//     commit list, drop if not. Single-participant transactions take the
-//     ordinary one-phase pipeline — no coordinator lock — which is what
-//     keeps disjoint per-site workloads scaling (bench_distributed).
+//     in-doubt record at recovery: promote+replay if the gid is logged,
+//     drop if not. Single-participant transactions take the ordinary
+//     one-phase pipeline — no coordinator lock — which is what keeps
+//     disjoint per-site workloads scaling (bench_distributed).
+//
+//   * Coordinator failover. The coordinator itself is failable:
+//     crash_coordinator() (or a pinned kCoord* fault at any 2PC protocol
+//     step) loses the volatile commit list and the decision log's ack
+//     table, but never a forced decision. recover_coordinator() rebuilds
+//     the commit list from the log, resolves every in-doubt record at
+//     every up site, re-syncs acks from the participants' own stable
+//     logs, and checkpoints (truncates fully-acknowledged decisions).
+//     A live participant stranded while prepared (its coordinator died,
+//     or every decide-message retry was lost) *fences* itself: it fails
+//     out of the available set — in-doubt volatile state must not serve
+//     reads — leaving only its stable prepared record, and
+//     run_termination_protocol() drives its rejoin: recovery resolves
+//     the record against the coordinator's commit list when it is up,
+//     else by querying surviving peers' stable logs, with bounded retry
+//     + exponential backoff under injected spurious timeouts. Message
+//     faults (loss/latency on prepare/decide/ack) are part of the same
+//     deterministic plan.
 //
 //   * fail()/recover() are first-class fault-plan sites
 //     (FaultSite::kSiteFail / kSiteRecover): set_fault_plan() attaches a
@@ -80,6 +98,7 @@
 #include <vector>
 
 #include "check/system.h"
+#include "dist/decision_log.h"
 #include "dist/placement.h"
 #include "dist/site.h"
 #include "fault/fault.h"
@@ -87,6 +106,8 @@
 #include "sched/factory.h"
 
 namespace argus {
+
+class MetricsRegistry;
 
 struct DistOptions {
   std::size_t sites{2};
@@ -100,6 +121,17 @@ struct DistOptions {
   /// Global transaction ids start here (clear of every site-local id
   /// space; rendered "t1000000", "t1000001", ... in traces).
   std::uint64_t gid_base{1000000};
+  /// Force 2PC decisions to the coordinator's DecisionLog before
+  /// delivery (replayed by recover_coordinator()). false = the PR 6
+  /// in-memory commit list, kept as E18's baseline; with it a
+  /// coordinator crash forgets every decision, so only enable
+  /// coordinator faults against the durable log.
+  bool durable_decisions{true};
+  /// Cooperative termination: per in-doubt record, how many status-query
+  /// rounds a participant attempts (spurious-timeout injection can waste
+  /// a round) and the initial backoff, doubled per retry.
+  std::uint32_t termination_max_retries{4};
+  std::uint32_t termination_backoff_us{50};
 };
 
 struct DistStats {
@@ -116,6 +148,24 @@ struct DistStats {
   std::uint64_t catchup_txns{0};       // catch-up copier transactions
   std::uint64_t catchup_ops{0};        // operations re-applied by catch-up
   std::uint64_t replica_divergence{0}; // replicas disagreed on a result
+
+  // Coordinator failover + decision log (PR 8).
+  std::uint64_t coord_crashes{0};
+  std::uint64_t coord_recovers{0};
+  std::uint64_t coord_unavailable_aborts{0};  // 2PC refused: coordinator down
+  std::uint64_t decisions_logged{0};
+  std::uint64_t decision_force_failures{0};
+  std::uint64_t decisions_truncated{0};
+  std::uint64_t msgs_lost{0};
+  std::uint64_t msg_delays{0};
+
+  // Cooperative termination protocol.
+  std::uint64_t termination_rounds{0};
+  std::uint64_t termination_promoted{0};        // resolved via the live log
+  std::uint64_t termination_peer_promotions{0}; // resolved via a peer's log
+  std::uint64_t termination_presumed_aborts{0};
+  std::uint64_t termination_retries{0};  // rounds wasted on injected timeouts
+  std::uint64_t termination_blocked{0};  // records left in doubt this round
 };
 
 class DistRuntime;
@@ -138,6 +188,7 @@ class DistTxn {
   struct Part {
     std::shared_ptr<Transaction> txn;
     bool prepared{false};
+    bool delivered{false};  // phase 2 reached this site (commit applied)
     Timestamp proposal{kNoTimestamp};
   };
 
@@ -232,8 +283,54 @@ class DistRuntime {
 
   /// Site recovery: resolves in-doubt prepared records against the
   /// decision list, replays the stable log, runs the catch-up copier,
-  /// and applies the stale-read rule. False if already up.
+  /// and applies the stale-read rule. False if already up — or if the
+  /// coordinator is down and the site holds in-doubt records no
+  /// surviving peer can resolve (recovery is atomic: the site stays down
+  /// and a later recover() retries, normally after the coordinator
+  /// returns).
   bool recover(std::size_t site_index);
+
+  // --- coordinator failover -------------------------------------------
+
+  [[nodiscard]] bool coordinator_up() const {
+    return coordinator_up_.load(std::memory_order_acquire);
+  }
+
+  /// Coordinator crash: the volatile commit list and the decision log's
+  /// ack table are lost; stable decisions survive. While down, every
+  /// multi-participant commit aborts kUnavailable and in-doubt
+  /// participants can only resolve cooperatively (peers). False if
+  /// already down.
+  bool crash_coordinator();
+
+  /// Coordinator failover: rebuilds the commit list from the decision
+  /// log's stable records, authoritatively resolves every in-doubt
+  /// prepared record at every up site (promote if logged, presumed abort
+  /// otherwise), re-syncs the ack table from the participants' stable
+  /// logs, and checkpoints. Idempotent — a second call is a no-op
+  /// returning false (already up), and replaying the same log twice
+  /// cannot double-apply (promotion is conditional on the record still
+  /// being prepared). False if already up.
+  bool recover_coordinator();
+
+  /// Cooperative termination: every *fenced* site (a participant that
+  /// failed itself out of the available set when a coordinator crash or
+  /// decide-message loss left it holding prepared volatile state — see
+  /// coordinator_died) attempts to rejoin via recover(), which resolves
+  /// its in-doubt records against the coordinator's commit list when the
+  /// coordinator is up, else by querying surviving peers' stable logs
+  /// for the promoted record, with bounded retry + exponential backoff
+  /// (an injected spurious timeout, FaultInjector::on_wait, wastes a
+  /// round). Sites whose records nobody can resolve stay down (counted
+  /// termination_blocked) until new information appears — normally the
+  /// coordinator's return. Every round with the coordinator up also
+  /// re-syncs the decision log's ack table from the participants' stable
+  /// logs and truncates fully-acknowledged decisions (so acks lost on
+  /// the wire never pin the log). Returns the number of records
+  /// resolved.
+  std::size_t run_termination_protocol();
+
+  [[nodiscard]] DecisionLog& decision_log() { return decision_log_; }
 
   /// Attaches fault injection: a coordinator injector deciding site
   /// fail/recover per tick_site_faults() call, and per-site injectors
@@ -287,6 +384,11 @@ class DistRuntime {
 
   [[nodiscard]] DistStats stats() const;
 
+  /// Exposes every DistStats field (plus the decision-log backlog) as
+  /// argus_dist_* counters/gauges through a registry collector, scraped
+  /// on demand like the per-runtime metrics.
+  void register_metrics(MetricsRegistry& registry);
+
  private:
   ActivityId next_gid() {
     return ActivityId{options_.gid_base +
@@ -311,6 +413,45 @@ class DistRuntime {
   /// at `delivered_sites`.
   void register_commit(DistTxn& t, Timestamp G,
                        const std::set<std::size_t>& delivered_sites);
+
+  /// Marks one site's replicas delivered/readable for a committed
+  /// transaction (2PC registers the catalog entry at decision time, then
+  /// marks per-site delivery as phase 2 actually reaches each site).
+  void mark_delivered_site(DistTxn& t, Timestamp G, std::size_t site_index);
+
+  /// One simulated coordinator<->participant message on `channel`
+  /// (kMsgPrepare / kMsgDecide / kMsgAck). Lost prepare messages are
+  /// resent up to plan.msg_retries times; returns false when every
+  /// attempt was lost.
+  bool send_message(FaultSite channel);
+
+  /// The pinned coordinator crash fired mid-2PC: crash the coordinator,
+  /// fence every live undelivered prepared participant (fail it out of
+  /// the available set — its in-doubt volatile state must not serve
+  /// reads, and its prepared record is what the termination protocol
+  /// resolves) and abort the unprepared rest. If `decided` is set the
+  /// decision was already forced — the transaction IS committed and the
+  /// caller returns normally; otherwise this throws
+  /// TransactionAborted(kUnavailable) (presumed abort: nothing stable
+  /// names the gid).
+  void coordinator_died(DistTxn& t, std::optional<Timestamp> decided);
+
+  /// fail(site) because a coordinator failure (or exhausted decide
+  /// retries) stranded the site's prepared volatile state; tracked in
+  /// fenced_sites_ so run_termination_protocol() drives its rejoin.
+  void fence(std::size_t site_index);
+
+  /// The participant side of cooperative termination: with the
+  /// coordinator down, ask every surviving peer's stable log whether
+  /// `gid` committed. Bounded retry with exponential backoff; an
+  /// injected spurious timeout (on_wait) wastes a round. nullopt = no
+  /// peer knows (the record stays in doubt).
+  std::optional<Timestamp> query_peers(std::size_t self, ActivityId gid);
+
+  /// Re-syncs the decision log's volatile ack table from participants'
+  /// stable logs (a promoted record at the participant == an ack), then
+  /// checkpoints. Caller holds dist_commit_mu_.
+  void sync_acks_locked();
 
   /// Commit-side resolution for a participant that failed and recovered
   /// mid-2PC: promote its still-in-doubt record, replay the effects, and
@@ -348,11 +489,22 @@ class DistRuntime {
   bool in_2pc_{false};  // guarded by catalog_mu_ (recover() reads it)
 
   mutable std::mutex decisions_mu_;
-  std::map<ActivityId, Timestamp> decisions_;  // commit list (presumed abort)
+  /// The volatile commit list (presumed abort) — now a cache over
+  /// decision_log_ when durable_decisions is on: lost at
+  /// crash_coordinator(), rebuilt by recover_coordinator().
+  std::map<ActivityId, Timestamp> decisions_;
   std::optional<ActivityId> inflight_gid_;     // guarded by decisions_mu_
+
+  DecisionLog decision_log_;
+  std::atomic<bool> coordinator_up_{true};
 
   mutable std::mutex catalog_mu_;  // placement catalog + deferred catch-ups
   std::set<std::size_t> deferred_catchup_;
+  /// Sites failed by fence(): down because a coordinator crash (or
+  /// exhausted decide retries) stranded their prepared state, not by the
+  /// fault plan's site churn. run_termination_protocol() recovers them
+  /// as soon as their in-doubt records resolve. Guarded by catalog_mu_.
+  std::set<std::size_t> fenced_sites_;
 
   mutable std::mutex ro_mu_;
   std::unordered_set<ActivityId> read_only_gids_;
@@ -373,6 +525,17 @@ class DistRuntime {
   std::atomic<std::uint64_t> catchup_txns_{0};
   std::atomic<std::uint64_t> catchup_ops_{0};
   std::atomic<std::uint64_t> replica_divergence_{0};
+  std::atomic<std::uint64_t> coord_crashes_{0};
+  std::atomic<std::uint64_t> coord_recovers_{0};
+  std::atomic<std::uint64_t> coord_unavailable_aborts_{0};
+  std::atomic<std::uint64_t> msgs_lost_{0};
+  std::atomic<std::uint64_t> msg_delays_{0};
+  std::atomic<std::uint64_t> termination_rounds_{0};
+  std::atomic<std::uint64_t> termination_promoted_{0};
+  std::atomic<std::uint64_t> termination_peer_promotions_{0};
+  std::atomic<std::uint64_t> termination_presumed_aborts_{0};
+  std::atomic<std::uint64_t> termination_retries_{0};
+  std::atomic<std::uint64_t> termination_blocked_{0};
 };
 
 }  // namespace argus

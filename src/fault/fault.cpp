@@ -26,6 +26,24 @@ std::string to_string(FaultSite site) {
       return "site-fail";
     case FaultSite::kSiteRecover:
       return "site-recover";
+    case FaultSite::kCoordPrePrepare:
+      return "coord-pre-prepare";
+    case FaultSite::kCoordPostPrepare:
+      return "coord-post-prepare";
+    case FaultSite::kCoordPostDecision:
+      return "coord-post-decision";
+    case FaultSite::kCoordMidDelivery:
+      return "coord-mid-delivery";
+    case FaultSite::kCoordRecover:
+      return "coord-recover";
+    case FaultSite::kDecisionForce:
+      return "decision-force";
+    case FaultSite::kMsgPrepare:
+      return "msg-prepare";
+    case FaultSite::kMsgDecide:
+      return "msg-decide";
+    case FaultSite::kMsgAck:
+      return "msg-ack";
   }
   return "?";
 }
@@ -56,6 +74,12 @@ std::string to_string(FaultAction action) {
       return "site-fail";
     case FaultAction::kSiteRecover:
       return "site-recover";
+    case FaultAction::kCoordRecover:
+      return "coord-recover";
+    case FaultAction::kMsgLoss:
+      return "msg-loss";
+    case FaultAction::kMsgLatency:
+      return "msg-latency";
   }
   return "?";
 }
@@ -130,6 +154,57 @@ bool FaultInjector::on_site_recover(std::size_t site_index) {
   emit(FaultSite::kSiteRecover, arrival, FaultAction::kSiteRecover,
        site_index);
   return true;
+}
+
+bool FaultInjector::on_coord_crash(FaultSite step) {
+  const std::uint64_t arrival = next_arrival(step);
+  if (plan_.coord_crash_at_arrival == 0 || step != plan_.coord_crash_point ||
+      arrival != plan_.coord_crash_at_arrival) {
+    return false;
+  }
+  if (coord_crash_fired_.exchange(true, std::memory_order_acq_rel)) {
+    return false;
+  }
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  emit(step, arrival, FaultAction::kCrash, static_cast<std::uint64_t>(step));
+  return true;
+}
+
+bool FaultInjector::on_coord_recover() {
+  const std::uint64_t arrival = next_arrival(FaultSite::kCoordRecover);
+  if (plan_.coord_recover_permille == 0 || !budget_open()) return false;
+  SplitMix64 rng = decision_rng(FaultSite::kCoordRecover, arrival);
+  if (!rng.chance(plan_.coord_recover_permille, 1000)) return false;
+  emit(FaultSite::kCoordRecover, arrival, FaultAction::kCoordRecover, 0);
+  return true;
+}
+
+bool FaultInjector::on_decision_force() {
+  const std::uint64_t arrival = next_arrival(FaultSite::kDecisionForce);
+  if (plan_.decision_force_fail_permille == 0 || !budget_open()) return false;
+  SplitMix64 rng = decision_rng(FaultSite::kDecisionForce, arrival);
+  if (!rng.chance(plan_.decision_force_fail_permille, 1000)) return false;
+  emit(FaultSite::kDecisionForce, arrival, FaultAction::kForceFail, 0);
+  return true;
+}
+
+FaultInjector::MsgDecision FaultInjector::on_message(FaultSite channel) {
+  MsgDecision out;
+  const std::uint64_t arrival = next_arrival(channel);
+  if (!budget_open()) return out;
+  SplitMix64 rng = decision_rng(channel, arrival);
+  if (plan_.msg_loss_permille > 0 &&
+      rng.chance(plan_.msg_loss_permille, 1000)) {
+    out.lost = true;
+    emit(channel, arrival, FaultAction::kMsgLoss, 0);
+    return out;  // a lost message has no latency
+  }
+  if (plan_.msg_latency_permille > 0 &&
+      rng.chance(plan_.msg_latency_permille, 1000)) {
+    out.latency_us = plan_.msg_latency_us;
+    emit(channel, arrival, FaultAction::kMsgLatency, out.latency_us);
+  }
+  return out;
 }
 
 FaultInjector::WaitDecision FaultInjector::on_wait() {

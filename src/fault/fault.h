@@ -65,9 +65,18 @@ enum class FaultSite : int {
   kWaitDelayedWakeup,       // await(): stretch one wait round
   kSiteFail,                // multi-site: a whole Site fails (crash)
   kSiteRecover,             // multi-site: a failed Site recovers
+  kCoordPrePrepare,         // 2PC: coordinator dies before any prepare
+  kCoordPostPrepare,        // 2PC: dies after prepares, before the decision
+  kCoordPostDecision,       // 2PC: dies post-decision, pre-delivery
+  kCoordMidDelivery,        // 2PC: dies between two deliveries
+  kCoordRecover,            // a failed coordinator restarts
+  kDecisionForce,           // coordinator decision-log force attempt
+  kMsgPrepare,              // coordinator->participant prepare message
+  kMsgDecide,               // coordinator->participant decision message
+  kMsgAck,                  // participant->coordinator delivery ack
 };
 
-inline constexpr std::size_t kFaultSiteCount = 10;
+inline constexpr std::size_t kFaultSiteCount = 19;
 
 [[nodiscard]] std::string to_string(FaultSite site);
 [[nodiscard]] std::optional<FaultSite> fault_site_from_string(
@@ -83,6 +92,9 @@ enum class FaultAction {
   kDelayedWakeup,
   kSiteFail,
   kSiteRecover,
+  kCoordRecover,
+  kMsgLoss,
+  kMsgLatency,
 };
 
 [[nodiscard]] std::string to_string(FaultAction action);
@@ -136,6 +148,26 @@ struct FaultPlan {
   // shrinks site churn like any other fault class.
   std::uint32_t site_fail_permille{0};
   std::uint32_t site_recover_permille{0};
+
+  // Coordinator faults (dist 2PC). The pinned coordinator crash mirrors
+  // the pipeline crash: it fires at the Nth arrival at
+  // `coord_crash_point` (one of the four kCoord* protocol steps);
+  // 0 = never, and it is configuration, not budget. Recovery is rolled
+  // per liveness tick while the coordinator is down.
+  // decision_force_fail_permille fails the decision-log force (the
+  // coordinator still knows the outcome, so it aborts globally); the
+  // msg_* knobs model per-message loss and latency on the
+  // prepare/decide/ack channels, with lost prepare messages resent up to
+  // msg_retries times before the coordinator treats the site as
+  // unreachable.
+  FaultSite coord_crash_point{FaultSite::kCoordPrePrepare};
+  std::uint64_t coord_crash_at_arrival{0};
+  std::uint32_t coord_recover_permille{0};
+  std::uint32_t decision_force_fail_permille{0};
+  std::uint32_t msg_loss_permille{0};
+  std::uint32_t msg_latency_permille{0};
+  std::uint32_t msg_latency_us{100};
+  std::uint32_t msg_retries{2};
 
   // Probabilistic faults injected after this many have fired are
   // suppressed (the pinned crash is configuration, not budget).
@@ -192,6 +224,29 @@ class FaultInjector {
   /// recorded as the event detail. Both respect the fault budget.
   [[nodiscard]] bool on_site_fail(std::size_t site_index);
   [[nodiscard]] bool on_site_recover(std::size_t site_index);
+
+  /// Fires the pinned coordinator crash if this arrival at `step` (one
+  /// of the four kCoord* 2PC protocol steps) is the one the plan names.
+  /// Latched separately from the pipeline crash, so a plan can pin both.
+  /// Returns true exactly once ever.
+  bool on_coord_crash(FaultSite step);
+
+  /// Coordinator recovery roll, once per liveness tick while the
+  /// coordinator is down. Respects the fault budget.
+  [[nodiscard]] bool on_coord_recover();
+
+  /// Decision-log force roll: true = this force fails and the
+  /// coordinator must abort the transaction globally (nothing stable).
+  [[nodiscard]] bool on_decision_force();
+
+  /// Fate of one coordinator<->participant message. `channel` is
+  /// kMsgPrepare, kMsgDecide or kMsgAck — each channel is its own
+  /// arrival stream, so loss on one never perturbs the others.
+  struct MsgDecision {
+    bool lost{false};
+    std::uint32_t latency_us{0};
+  };
+  [[nodiscard]] MsgDecision on_message(FaultSite channel);
 
   /// Decision for one blocking-wait round.
   struct WaitDecision {
@@ -254,6 +309,7 @@ class FaultInjector {
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<bool> crash_fired_{false};
+  std::atomic<bool> coord_crash_fired_{false};
 
   mutable std::mutex mu_;  // guards trace_
   std::vector<FaultEvent> trace_;

@@ -49,6 +49,15 @@ std::string to_dist_config_string(const DistSweepCase& c) {
       << "\n";
   out << "delayed_wakeup_permille " << c.plan.delayed_wakeup_permille << "\n";
   out << "delayed_wakeup_us " << c.plan.delayed_wakeup_us << "\n";
+  out << "coord_crash_point " << to_string(c.plan.coord_crash_point) << "\n";
+  out << "coord_crash_at " << c.plan.coord_crash_at_arrival << "\n";
+  out << "coord_recover_permille " << c.plan.coord_recover_permille << "\n";
+  out << "decision_force_fail_permille "
+      << c.plan.decision_force_fail_permille << "\n";
+  out << "msg_loss_permille " << c.plan.msg_loss_permille << "\n";
+  out << "msg_latency_permille " << c.plan.msg_latency_permille << "\n";
+  out << "msg_latency_us " << c.plan.msg_latency_us << "\n";
+  out << "msg_retries " << c.plan.msg_retries << "\n";
   out << "max_faults " << c.plan.max_faults << "\n";
   return out.str();
 }
@@ -89,6 +98,12 @@ bool parse_dist_case(const std::string& text, DistSweepCase* out,
       const auto site = fault_site_from_string(value);
       if (!site) return fail("unknown crash point: " + value);
       c.plan.crash_point = *site;
+      continue;
+    }
+    if (key == "coord_crash_point") {
+      const auto site = fault_site_from_string(value);
+      if (!site) return fail("unknown coordinator crash point: " + value);
+      c.plan.coord_crash_point = *site;
       continue;
     }
 
@@ -135,6 +150,20 @@ bool parse_dist_case(const std::string& text, DistSweepCase* out,
       c.plan.delayed_wakeup_permille = static_cast<std::uint32_t>(n);
     } else if (key == "delayed_wakeup_us") {
       c.plan.delayed_wakeup_us = static_cast<std::uint32_t>(n);
+    } else if (key == "coord_crash_at") {
+      c.plan.coord_crash_at_arrival = n;
+    } else if (key == "coord_recover_permille") {
+      c.plan.coord_recover_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "decision_force_fail_permille") {
+      c.plan.decision_force_fail_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "msg_loss_permille") {
+      c.plan.msg_loss_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "msg_latency_permille") {
+      c.plan.msg_latency_permille = static_cast<std::uint32_t>(n);
+    } else if (key == "msg_latency_us") {
+      c.plan.msg_latency_us = static_cast<std::uint32_t>(n);
+    } else if (key == "msg_retries") {
+      c.plan.msg_retries = static_cast<std::uint32_t>(n);
     } else if (key == "max_faults") {
       c.plan.max_faults = n;
     } else {
@@ -200,6 +229,13 @@ DistCaseResult run_dist_case(const DistSweepCase& c) {
   SplitMix64 rng(c.plan.seed * 0x9e3779b97f4a7c15ULL + 1);
   for (int i = 0; i < c.transactions; ++i) {
     dist.tick_site_faults();
+    // Cooperative termination runs between transactions, like a real
+    // deployment's periodic status round: fenced participants (stranded
+    // prepared by a coordinator crash or lost decide messages) resolve
+    // their in-doubt records and rejoin mid-run. A no-op — beyond lazy
+    // ack collection — when nothing is fenced, so pre-PR-8
+    // configurations replay their traces unchanged.
+    dist.run_termination_protocol();
     const bool audit =
         supports_snapshot_reads(c.protocol) && rng.chance(1, 4);
     const auto t = dist.begin(audit ? TxnKind::kReadOnly : TxnKind::kUpdate);
@@ -238,12 +274,21 @@ DistCaseResult run_dist_case(const DistSweepCase& c) {
   for (std::size_t i = 0; i < dist.site_count(); ++i) {
     dist.site(i).runtime().set_fault_injector(nullptr);
   }
+  // Coordinator first: site recovery is atomic and refuses while an
+  // in-doubt record is unresolvable, which with every peer down only the
+  // recovered commit list can break.
+  if (!dist.coordinator_up()) {
+    probe(dist.recover_coordinator(), "recover: coordinator failed");
+  }
   for (std::size_t i = 0; i < dist.site_count(); ++i) {
     if (!dist.site(i).up()) {
       probe(dist.recover(i),
             "recover: site " + std::to_string(i) + " failed fault-free");
     }
   }
+  // Final termination round: with everything up it only re-derives acks
+  // from the participants' stable logs and truncates settled decisions.
+  dist.run_termination_protocol();
 
   // The replayable artifact: everything up to (not including) the
   // verification probes, so two runs of the same case compare
@@ -283,10 +328,27 @@ DistCaseResult run_dist_case(const DistSweepCase& c) {
         "replica divergence: " + std::to_string(stats.replica_divergence) +
             " mismatched write results");
 
-  // Probes per site: stable-log order and watermark coverage.
+  // With every participant recovered and acks re-synced, the decision
+  // log must have truncated to empty — unless torn-batch faults could
+  // drop a participant's committed record, in which case catch-up
+  // restores the value but the ack is honestly never derivable.
+  if (c.plan.torn_batch_permille == 0) {
+    probe(dist.decision_log().outstanding() == 0,
+          "decision log: " + std::to_string(dist.decision_log().outstanding()) +
+              " decisions still outstanding after full recovery");
+  }
+
+  // Probes per site: stable-log order, watermark coverage, and total
+  // in-doubt resolution — with every site and the coordinator recovered,
+  // no prepared record may remain anywhere (each was promoted or dropped
+  // by recovery / the termination protocol).
   for (std::size_t i = 0; i < dist.site_count(); ++i) {
     const std::string tag = "site" + std::to_string(i) + " ";
     Runtime& rt = dist.site(i).runtime();
+    probe(rt.tm().log().prepared_records().empty(),
+          tag + "termination: " +
+              std::to_string(rt.tm().log().prepared_records().size()) +
+              " records still in doubt after recovery");
     const auto records = rt.tm().log().records();
     const Timestamp watermark = rt.tm().clock().watermark();
     Timestamp prev = 0;
@@ -357,6 +419,12 @@ DistCaseResult run_dist_case(const DistSweepCase& c) {
   result.promoted_commits = stats.promoted_commits;
   result.presumed_aborts = stats.presumed_aborts;
   result.catchup_txns = stats.catchup_txns;
+  result.coord_crashes = stats.coord_crashes;
+  result.coord_recovers = stats.coord_recovers;
+  result.decisions_logged = stats.decisions_logged;
+  result.msgs_lost = stats.msgs_lost;
+  result.termination_promotions =
+      stats.termination_promoted + stats.termination_peer_promotions;
   result.ok = failures.empty();
   for (std::size_t i = 0; i < failures.size(); ++i) {
     if (i > 0) result.failure += "\n";
@@ -431,6 +499,72 @@ std::vector<DistSweepCase> enumerate_dist_cases(
       }
     }
   }
+
+  // Coordinator-fault axis (appended so the base grid keeps its order):
+  // a pinned coordinator crash at each of the four 2PC protocol steps,
+  // crossed with message-fault mixes, at a fixed 3-site deployment — two
+  // participants to strand, plus a surviving peer for the cooperative
+  // termination protocol's status queries.
+  std::vector<Mix> coord_mixes;
+  {
+    Mix bare{"coord-crash", {}};
+    bare.plan.coord_recover_permille = 400;
+    coord_mixes.push_back(bare);
+    Mix lossy{"coord-lossy", {}};
+    lossy.plan.coord_recover_permille = 400;
+    lossy.plan.msg_loss_permille = 150;
+    lossy.plan.msg_retries = 2;
+    // Spurious timeouts land on the peer-query wait path too, wasting
+    // termination rounds (bounded retry + backoff).
+    lossy.plan.spurious_timeout_permille = 120;
+    coord_mixes.push_back(lossy);
+    Mix chaos{"coord-chaos", {}};
+    chaos.plan.coord_recover_permille = 300;
+    chaos.plan.msg_loss_permille = 100;
+    chaos.plan.msg_latency_permille = 250;
+    chaos.plan.msg_latency_us = 100;
+    chaos.plan.msg_retries = 2;
+    chaos.plan.decision_force_fail_permille = 100;
+    chaos.plan.site_fail_permille = 60;
+    chaos.plan.site_recover_permille = 300;
+    coord_mixes.push_back(chaos);
+  }
+  const FaultSite coord_steps[] = {
+      FaultSite::kCoordPrePrepare, FaultSite::kCoordPostPrepare,
+      FaultSite::kCoordPostDecision, FaultSite::kCoordMidDelivery};
+  constexpr int kCoordSites = 3;
+  for (std::uint64_t step_index = 0; step_index < std::size(coord_steps);
+       ++step_index) {
+    const FaultSite step = coord_steps[step_index];
+    for (const Mix& mix : coord_mixes) {
+      // Continues the base grid's mix numbering so no two cells —
+      // across both axes — share a seed stream.
+      const auto mix_index =
+          static_cast<std::uint64_t>(mixes.size()) +
+          step_index * coord_mixes.size() +
+          static_cast<std::uint64_t>(&mix - coord_mixes.data());
+      for (Protocol protocol : options.protocols) {
+        for (std::uint64_t s = 1; s <= options.seeds_per_cell; ++s) {
+          DistSweepCase c;
+          c.plan = mix.plan;
+          c.protocol = protocol;
+          c.sites = kCoordSites;
+          c.sharded = options.sharded;
+          c.replicated = options.replicated;
+          c.transactions = options.transactions;
+          c.initial_balance = options.initial_balance;
+          c.plan.seed = s * 1000003ULL +
+                        static_cast<std::uint64_t>(kCoordSites) * 7919ULL +
+                        mix_index * 101ULL + static_cast<std::uint64_t>(protocol);
+          c.plan.coord_crash_point = step;
+          // Vary which 2PC hits the crash so early and late coordinator
+          // deaths both occur.
+          c.plan.coord_crash_at_arrival = 1 + (s % 3);
+          out.push_back(c);
+        }
+      }
+    }
+  }
   return out;
 }
 
@@ -444,6 +578,8 @@ DistSweepSummary run_dist_sweep(const DistSweepOptions& options) {
     summary.committed += result.committed;
     summary.two_pc_commits += result.two_pc_commits;
     summary.promoted_commits += result.promoted_commits;
+    summary.coord_crashes += result.coord_crashes;
+    summary.termination_promotions += result.termination_promotions;
     if (!result.ok) summary.failures.push_back({c, result.failure});
   }
   return summary;

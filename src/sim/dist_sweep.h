@@ -16,6 +16,17 @@
 // between 2PC protocol steps*, so the sweep explores participants dying
 // after prepare, before the decision, and between deliveries.
 //
+// The coordinator itself is a fault axis (PR 8): a pinned coordinator
+// crash at any of the four 2PC protocol steps, decision-log force
+// failures, and per-message loss/latency on prepare/decide/ack — all
+// crossed with message mixes and seeds at a fixed 3-site deployment
+// (two participants to strand, one surviving peer for cooperative
+// termination). The workload loop runs the termination protocol between
+// transactions, so fenced participants rejoin mid-run the way a real
+// deployment would, and the epilogue asserts total resolution: no
+// prepared record anywhere, and (absent torn-batch faults) a fully
+// drained decision log.
+//
 // Certification per case, after the epilogue recovers every down site:
 //
 //   * conservation — the summed balance over every logical variable
@@ -79,6 +90,13 @@ struct DistCaseResult {
   std::uint64_t promoted_commits{0};
   std::uint64_t presumed_aborts{0};
   std::uint64_t catchup_txns{0};
+  std::uint64_t coord_crashes{0};
+  std::uint64_t coord_recovers{0};
+  std::uint64_t decisions_logged{0};
+  std::uint64_t msgs_lost{0};
+  /// In-doubt records resolved by the termination protocol, via the
+  /// recovered commit list or a surviving peer's stable log.
+  std::uint64_t termination_promotions{0};
 };
 
 /// Runs one case start to finish: build the deployment, seed the bank,
@@ -99,8 +117,10 @@ struct DistSweepOptions {
   std::int64_t initial_balance{100};
 };
 
-/// The enumerated configurations (deterministic order; >= 200 with the
-/// defaults: 4 site counts x 5 mixes x 2 protocols x 5 seeds).
+/// The enumerated configurations (deterministic order; >= 320 with the
+/// defaults: 4 site counts x 5 mixes x 2 protocols x 5 seeds, plus the
+/// coordinator-fault axis appended after them — 4 pinned coordinator
+/// crash steps x 3 message mixes x 2 protocols x 5 seeds at 3 sites).
 [[nodiscard]] std::vector<DistSweepCase> enumerate_dist_cases(
     const DistSweepOptions& options = {});
 
@@ -116,6 +136,8 @@ struct DistSweepSummary {
   std::uint64_t committed{0};
   std::uint64_t two_pc_commits{0};
   std::uint64_t promoted_commits{0};
+  std::uint64_t coord_crashes{0};
+  std::uint64_t termination_promotions{0};
   std::vector<DistSweepFailure> failures;
 
   [[nodiscard]] bool all_ok() const { return failures.empty(); }

@@ -294,6 +294,25 @@ std::vector<CommitLogRecord> StableLog::records() const {
   return records_;
 }
 
+std::optional<Timestamp> StableLog::committed_ts(ActivityId txn) const {
+  const std::scoped_lock lock(mu_);
+  for (const CommitLogRecord& r : records_) {
+    if (r.txn == txn) return r.commit_ts;
+  }
+  return std::nullopt;
+}
+
+bool StableLog::remove_record(ActivityId txn) {
+  const std::scoped_lock lock(mu_);
+  for (auto it = records_.begin(); it != records_.end(); ++it) {
+    if (it->txn == txn) {
+      records_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t StableLog::size() const {
   const std::scoped_lock lock(mu_);
   return records_.size();

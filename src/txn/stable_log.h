@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/ids.h"
@@ -184,6 +185,17 @@ class StableLog {
 
   /// Snapshot of all forced records, ordered by commit timestamp.
   [[nodiscard]] std::vector<CommitLogRecord> records() const;
+
+  /// The commit timestamp of `txn`'s forced record, if one exists — how
+  /// a surviving peer answers "did this gid commit here?" during the
+  /// cooperative termination protocol, and how coordinator recovery
+  /// re-syncs its volatile ack table from participants' stable state.
+  [[nodiscard]] std::optional<Timestamp> committed_ts(ActivityId txn) const;
+
+  /// Removes one forced record by activity id (decision-log
+  /// checkpointing: a decision every participant has acknowledged can be
+  /// truncated). Returns false if no record for `txn` exists.
+  bool remove_record(ActivityId txn);
 
   [[nodiscard]] std::size_t size() const;
 

@@ -14,6 +14,7 @@
 #include "dist/dist_runtime.h"
 #include "hist/parse.h"
 #include "hist/wellformed.h"
+#include "obs/metrics_registry.h"
 #include "spec/adts/bank_account.h"
 
 namespace argus {
@@ -363,6 +364,296 @@ TEST(DistRuntime, MergedTraceParsesBackToTheMergedHistory) {
   for (std::size_t i = 0; i < merged.events().size(); ++i) {
     EXPECT_EQ(parsed.history->events()[i], merged.events()[i]) << "event " << i;
   }
+}
+
+// ---- coordinator failover + cooperative termination (PR 8) -----------
+
+// Pins a coordinator crash at `step` (first 2PC after the plan attaches)
+// on a two-site bank seeded with 100/100 and drives one transfer into
+// it. Returns whether the transfer's commit() returned (decision forced
+// before the crash) or threw (presumed abort).
+bool transfer_into_coordinator_crash(DistRuntime& dist, FaultSite step) {
+  FaultPlan plan;
+  plan.coord_crash_point = step;
+  plan.coord_crash_at_arrival = 1;
+  dist.set_fault_plan(plan);
+  const auto t = dist.begin();
+  dist.write(*t, "s0", account::withdraw(30));
+  dist.write(*t, "s1", account::deposit(30));
+  try {
+    dist.commit(t);
+    return true;
+  } catch (const TransactionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kUnavailable);
+    return false;
+  }
+}
+
+TEST(DistRuntime, CoordinatorCrashAtEachStepLosesNoCommittedDecision) {
+  // The tentpole acceptance property: crash the coordinator at every 2PC
+  // protocol step; after recover_coordinator() + the termination
+  // protocol, every forced decision survives, every unforced one is a
+  // presumed abort, and no participant stays in doubt.
+  const struct {
+    FaultSite step;
+    bool decision_survives;  // was the decision forced before the crash?
+  } kSteps[] = {
+      {FaultSite::kCoordPrePrepare, false},
+      {FaultSite::kCoordPostPrepare, false},
+      {FaultSite::kCoordPostDecision, true},
+      {FaultSite::kCoordMidDelivery, true},
+  };
+  for (const auto& [step, decision_survives] : kSteps) {
+    SCOPED_TRACE(to_string(step));
+    const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+    DistRuntime& dist = *distp;
+    {
+      const auto t = dist.begin();
+      dist.write(*t, "s0", account::deposit(100));
+      dist.write(*t, "s1", account::deposit(100));
+      dist.commit(t);
+    }
+
+    EXPECT_EQ(transfer_into_coordinator_crash(dist, step),
+              decision_survives);
+    EXPECT_FALSE(dist.coordinator_up());
+
+    // While the coordinator is down, multi-site commits are refused.
+    if (dist.site(0).up() && dist.site(1).up()) {
+      const auto t = dist.begin();
+      dist.write(*t, "s0", account::deposit(1));
+      dist.write(*t, "s1", account::deposit(1));
+      EXPECT_THROW(dist.commit(t), TransactionAborted);
+      EXPECT_GE(dist.stats().coord_unavailable_aborts, 1u);
+    }
+
+    for (std::size_t i = 0; i < dist.site_count(); ++i) {
+      dist.site(i).runtime().set_fault_injector(nullptr);
+    }
+    EXPECT_TRUE(dist.recover_coordinator());
+    dist.run_termination_protocol();
+    for (std::size_t i = 0; i < dist.site_count(); ++i) {
+      if (!dist.site(i).up()) {
+        EXPECT_TRUE(dist.recover(i));
+      }
+      EXPECT_TRUE(dist.site(i).tm().log().prepared_records().empty())
+          << "site " << i << " still holds in-doubt records";
+    }
+
+    const std::int64_t s0 = read_balance(dist, "s0");
+    const std::int64_t s1 = read_balance(dist, "s1");
+    if (decision_survives) {
+      EXPECT_EQ(s0, 70);
+      EXPECT_EQ(s1, 130);
+    } else {
+      EXPECT_EQ(s0, 100);
+      EXPECT_EQ(s1, 100);
+    }
+    EXPECT_EQ(s0 + s1, 200) << "conservation must hold either way";
+    certify_merged(dist);
+  }
+}
+
+TEST(DistRuntime, CoordinatorRecoveryIsIdempotent) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::withdraw(30));
+    dist.write(*t, "s1", account::deposit(30));
+    dist.commit(t);
+  }
+
+  // Crash/recover twice over: replaying the same decision log twice must
+  // not double-apply anything (promotion is conditional on the record
+  // still being prepared — and nothing is prepared here).
+  EXPECT_TRUE(dist.crash_coordinator());
+  EXPECT_FALSE(dist.crash_coordinator());
+  EXPECT_TRUE(dist.recover_coordinator());
+  EXPECT_FALSE(dist.recover_coordinator()) << "second recovery is a no-op";
+  EXPECT_TRUE(dist.crash_coordinator());
+  EXPECT_TRUE(dist.recover_coordinator());
+
+  EXPECT_EQ(read_balance(dist, "s0"), 70);
+  EXPECT_EQ(read_balance(dist, "s1"), 130);
+  const DistStats stats = dist.stats();
+  EXPECT_EQ(stats.coord_crashes, 2u);
+  EXPECT_EQ(stats.coord_recovers, 2u);
+  EXPECT_EQ(stats.promoted_commits, 0u) << "nothing was in doubt";
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, TerminationProtocolResolvesInDoubtViaSurvivingPeer) {
+  // Mid-delivery coordinator crash: site 0 receives the decision, site 1
+  // is left fenced with a prepared record. With the coordinator still
+  // down, the termination protocol must resolve site 1 from site 0's
+  // stable log — the cooperative path, no coordinator involved.
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+
+  EXPECT_TRUE(transfer_into_coordinator_crash(
+      dist, FaultSite::kCoordMidDelivery))
+      << "the decision was forced: commit() reports success";
+  EXPECT_FALSE(dist.coordinator_up());
+  EXPECT_TRUE(dist.site(0).up()) << "site 0 took its delivery";
+  EXPECT_FALSE(dist.site(1).up()) << "site 1 fenced its in-doubt state";
+
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    dist.site(i).runtime().set_fault_injector(nullptr);
+  }
+  EXPECT_GT(dist.run_termination_protocol(), 0u);
+  EXPECT_FALSE(dist.coordinator_up()) << "resolved without the coordinator";
+  EXPECT_TRUE(dist.site(1).up());
+  EXPECT_TRUE(dist.site(1).tm().log().prepared_records().empty());
+  EXPECT_GE(dist.stats().termination_peer_promotions, 1u);
+
+  EXPECT_TRUE(dist.recover_coordinator());
+  EXPECT_EQ(read_balance(dist, "s0"), 70);
+  EXPECT_EQ(read_balance(dist, "s1"), 130);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, CheckpointTruncatesOnceEveryParticipantAcknowledges) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+  // The happy path acks inline and checkpoints at the end of the 2PC:
+  // nothing outstanding, one decision logged and already truncated.
+  EXPECT_EQ(dist.decision_log().outstanding(), 0u);
+  DistStats stats = dist.stats();
+  EXPECT_EQ(stats.decisions_logged, 1u);
+  EXPECT_EQ(stats.decisions_truncated, 1u);
+
+  // A coordinator crash wipes the volatile ack table mid-decision: the
+  // next decision stays outstanding until recovery re-derives the acks
+  // from the participants' own stable logs and checkpoints.
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::withdraw(10));
+    dist.write(*t, "s1", account::deposit(10));
+    dist.commit(t);
+  }
+  EXPECT_EQ(dist.decision_log().outstanding(), 0u);
+  EXPECT_TRUE(dist.crash_coordinator());
+  // (Decisions already truncated survive trivially; log a fresh one by
+  // recovering and committing again, then crash before its checkpoint —
+  // simplest deterministic stand-in: crash wiped acks, so replaying and
+  // re-syncing is recover_coordinator()'s job.)
+  EXPECT_TRUE(dist.recover_coordinator());
+  EXPECT_EQ(dist.decision_log().outstanding(), 0u)
+      << "recovery re-syncs acks and truncates settled decisions";
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, InMemoryBaselineLogsNothing) {
+  // durable_decisions=false is E18's baseline: the PR 6 in-memory commit
+  // list, no decision-log forces at all.
+  DistOptions options;
+  options.sites = 2;
+  options.protocol = Protocol::kHybrid;
+  options.durable_decisions = false;
+  DistRuntime dist(options);
+  dist.create_sharded<BankAccountAdt>("s0");
+  dist.create_sharded<BankAccountAdt>("s1");
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+  EXPECT_EQ(dist.stats().decisions_logged, 0u);
+  EXPECT_EQ(dist.decision_log().outstanding(), 0u);
+  EXPECT_EQ(read_balance(dist, "s0"), 100);
+}
+
+TEST(DistRuntime, LostPrepareMessagesVetoCleanly) {
+  // Every message is lost and the budget covers exactly one site's
+  // prepare attempts: phase 1 cannot deliver prepare, so the 2PC vetoes
+  // before anything is in doubt — nothing prepared, nothing fenced.
+  // (Decide-loss fencing is the sweep's coord-lossy mixes' territory.)
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+
+  FaultPlan plan;
+  plan.msg_loss_permille = 1000;
+  plan.msg_retries = 1;
+  plan.max_faults = 2;  // exactly the prepare attempts of one commit
+  dist.set_fault_plan(plan);
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::withdraw(10));
+    dist.write(*t, "s1", account::deposit(10));
+    EXPECT_THROW(dist.commit(t), TransactionAborted)
+        << "a prepare that never arrives is a veto";
+  }
+  EXPECT_GE(dist.stats().msgs_lost, 2u);
+  for (std::size_t i = 0; i < dist.site_count(); ++i) {
+    dist.site(i).runtime().set_fault_injector(nullptr);
+    if (!dist.site(i).up()) {
+      EXPECT_TRUE(dist.recover(i));
+    }
+  }
+  EXPECT_EQ(read_balance(dist, "s0"), 100);
+  EXPECT_EQ(read_balance(dist, "s1"), 100);
+  certify_merged(dist);
+}
+
+TEST(DistRuntime, RegisterMetricsExportsDistCounters) {
+  const auto distp = make_bank(2, Protocol::kHybrid, {"s0", "s1"}, {});
+  DistRuntime& dist = *distp;
+  MetricsRegistry registry;
+  dist.register_metrics(registry);
+  {
+    const auto t = dist.begin();
+    dist.write(*t, "s0", account::deposit(100));
+    dist.write(*t, "s1", account::deposit(100));
+    dist.commit(t);
+  }
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("argus_dist_txns_begun_total 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("argus_dist_two_pc_commits_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("argus_dist_decisions_logged_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("argus_dist_decisions_outstanding 0"),
+            std::string::npos)
+      << text;
+  // Scrapes are live: a coordinator crash/recover cycle shows up.
+  EXPECT_TRUE(dist.crash_coordinator());
+  EXPECT_TRUE(dist.recover_coordinator());
+  const std::string after = registry.prometheus_text();
+  EXPECT_NE(after.find("argus_dist_coord_crashes_total 1"),
+            std::string::npos)
+      << after;
+  EXPECT_NE(after.find("argus_dist_coord_recovers_total 1"),
+            std::string::npos)
+      << after;
 }
 
 TEST(DistRuntime, UsageErrorsAreUsageErrors) {

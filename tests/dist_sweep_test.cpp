@@ -65,6 +65,14 @@ TEST(DistSweepConfig, RoundTripsThroughConfigString) {
   c.plan.spurious_timeout_permille = 66;
   c.plan.delayed_wakeup_permille = 77;
   c.plan.delayed_wakeup_us = 88;
+  c.plan.coord_crash_point = FaultSite::kCoordMidDelivery;
+  c.plan.coord_crash_at_arrival = 3;
+  c.plan.coord_recover_permille = 450;
+  c.plan.decision_force_fail_permille = 110;
+  c.plan.msg_loss_permille = 130;
+  c.plan.msg_latency_permille = 140;
+  c.plan.msg_latency_us = 150;
+  c.plan.msg_retries = 4;
   c.plan.max_faults = 9;
 
   DistSweepCase back;
@@ -92,8 +100,10 @@ TEST(DistSweepConfig, RejectsMalformedInput) {
 
 TEST(DistSweep, EnumeratesTheFullGrid) {
   const auto cases = enumerate_dist_cases();
-  // 4 site counts x 5 mixes x 2 protocols x 5 seeds.
-  EXPECT_EQ(cases.size(), 200u);
+  // 4 site counts x 5 mixes x 2 protocols x 5 seeds, plus the
+  // coordinator-fault axis: 4 pinned crash steps x 3 message mixes x
+  // 2 protocols x 5 seeds at 3 sites.
+  EXPECT_EQ(cases.size(), 320u);
   // No two cells share a decision stream.
   std::set<std::uint64_t> seeds;
   for (const auto& c : cases) seeds.insert(c.plan.seed);
@@ -103,12 +113,21 @@ TEST(DistSweep, EnumeratesTheFullGrid) {
   std::set<int> sites;
   for (const auto& c : cases) sites.insert(c.sites);
   EXPECT_EQ(sites, (std::set<int>{1, 2, 3, 4}));
+  // The coordinator axis pins a crash at every 2PC protocol step.
+  std::set<FaultSite> steps;
+  for (const auto& c : cases) {
+    if (c.plan.coord_crash_at_arrival > 0) steps.insert(c.plan.coord_crash_point);
+  }
+  EXPECT_EQ(steps,
+            (std::set<FaultSite>{
+                FaultSite::kCoordPrePrepare, FaultSite::kCoordPostPrepare,
+                FaultSite::kCoordPostDecision, FaultSite::kCoordMidDelivery}));
 }
 
 TEST(DistSweep, EveryConfigurationCertifiesClean) {
   const DistSweepSummary summary = run_dist_sweep();
   write_failure_artifacts(summary);
-  EXPECT_EQ(summary.cases, 200u);
+  EXPECT_EQ(summary.cases, 320u);
   std::string report;
   for (const auto& f : summary.failures) {
     report += "---- failing config ----\n" + to_dist_config_string(f.config) +
@@ -125,6 +144,40 @@ TEST(DistSweep, EveryConfigurationCertifiesClean) {
   EXPECT_GT(summary.committed, 0u);
   EXPECT_GT(summary.two_pc_commits, 0u);
   EXPECT_GT(summary.promoted_commits, 0u);
+  // The coordinator axis genuinely fired: coordinators crashed at 2PC
+  // protocol steps, and the termination protocol resolved stranded
+  // prepared participants back to commit.
+  EXPECT_GT(summary.coord_crashes, 0u);
+  EXPECT_GT(summary.termination_promotions, 0u);
+}
+
+TEST(DistSweep, CoordinatorCrashCaseReplaysByteForByte) {
+  // A pinned mid-delivery coordinator crash with lossy messaging: the
+  // 2PC decision lands at some participants, the rest fence and resolve
+  // through the termination protocol once the coordinator returns.
+  DistSweepCase c;
+  c.protocol = Protocol::kHybrid;
+  c.sites = 3;
+  c.plan.seed = 777001;
+  c.plan.coord_crash_point = FaultSite::kCoordMidDelivery;
+  c.plan.coord_crash_at_arrival = 1;
+  c.plan.coord_recover_permille = 400;
+  c.plan.msg_loss_permille = 150;
+  c.plan.msg_retries = 2;
+  c.plan.spurious_timeout_permille = 120;
+
+  const DistCaseResult first = run_dist_case(c);
+  EXPECT_TRUE(first.ok) << first.failure;
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_GT(first.coord_crashes, 0u);
+
+  const DistCaseResult second = run_dist_case(c);
+  EXPECT_EQ(first.trace, second.trace)
+      << "same seed must reproduce the merged cross-site trace byte for byte";
+  EXPECT_EQ(first.committed, second.committed);
+  EXPECT_EQ(first.coord_crashes, second.coord_crashes);
+  EXPECT_EQ(first.msgs_lost, second.msgs_lost);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
 }
 
 TEST(DistSweep, ReplayingASeedReproducesTheMergedTraceByteForByte) {

@@ -117,7 +117,7 @@ TEST(ParseFuzz, SiteStampedMergedTracesRoundTrip) {
     while (std::getline(in, line)) {
       // Stamp each event with a pseudo-random origin site.
       merged << "site" << salt_rng.below(4) << ": " << line << "\n";
-      switch (salt_rng.below(5)) {
+      switch (salt_rng.below(8)) {
         case 0:
           merged << "# site" << salt_rng.below(4) << " fail arrival="
                  << salt_rng.below(100) << "\n";
@@ -128,6 +128,32 @@ TEST(ParseFuzz, SiteStampedMergedTracesRoundTrip) {
         case 2:
           merged << "# coord fault force-fail arrival=" << salt_rng.below(50)
                  << "\n";
+          break;
+        // The coordinator-fault vocabulary (PR 8), exactly as
+        // to_trace_line renders it: pinned 2PC-step crashes, failover,
+        // message loss/latency, decision-log force failures.
+        case 3:
+          merged << "# coord fault seq=" << salt_rng.below(100)
+                 << " site=coord-"
+                 << (salt_rng.below(2) != 0 ? "mid-delivery" : "post-decision")
+                 << " arrival=1 action=crash detail=13\n";
+          break;
+        case 4:
+          merged << "# coord fault seq=" << salt_rng.below(100)
+                 << " site=msg-" << (salt_rng.below(2) != 0 ? "decide" : "ack")
+                 << " arrival=" << salt_rng.below(9)
+                 << " action=msg-" << (salt_rng.below(2) != 0 ? "loss" : "latency")
+                 << " detail=0\n";
+          break;
+        case 5:
+          merged << "# coord fault seq=" << salt_rng.below(100)
+                 << " site=coord-recover arrival=" << salt_rng.below(9)
+                 << " action=coord-recover detail=0\n";
+          break;
+        case 6:
+          merged << "# coord fault seq=" << salt_rng.below(100)
+                 << " site=decision-force arrival=" << salt_rng.below(9)
+                 << " action=force-fail detail=0\n";
           break;
         default:
           break;
